@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(a table, a figure, or a claim from the text) and asserts its qualitative
+shape.  Each harness is a full profile->place->simulate pipeline, so
+benchmarks run one round by default; the benchmark timing reflects the
+cost of regenerating the artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_experiment_cache():
+    """Isolate each bench's measurements from the shared memo cache."""
+    clear_cache()
+    yield
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

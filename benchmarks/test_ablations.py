@@ -1,0 +1,97 @@
+"""Benches: ablations of the paper's stated design choices.
+
+Each bench sweeps one knob and asserts the paper's stated preference is
+at least as good as the clearly-degenerate settings — validating that the
+defaults (queue threshold 2x cache, 256-byte chunks, XOR depth 4, 99%
+popularity cutoff) are load-bearing rather than arbitrary.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    naming_depth_study,
+    sweep_chunk_size,
+    sweep_heap_placement,
+    sweep_popularity_cutoff,
+    sweep_queue_threshold,
+)
+
+
+def test_ablation_queue_threshold(benchmark):
+    result = run_once(benchmark, sweep_queue_threshold)
+    print("\n" + result.render())
+    paper = result.point_for(16384)  # 2x the 8K cache
+    tiny = result.point_for(2048)
+    assert paper.pct_reduction > 25
+    # A starved queue loses temporal relationships; it must not beat the
+    # paper's setting by any meaningful margin.
+    assert paper.miss_rate <= tiny.miss_rate * 1.05
+
+
+def test_ablation_chunk_size(benchmark):
+    result = run_once(benchmark, sweep_chunk_size)
+    print("\n" + result.render())
+    paper = result.point_for(256)
+    coarse = result.point_for(4096)
+    assert paper.pct_reduction > 25
+    # Whole-object granularity makes large objects unplaceable.
+    assert paper.miss_rate <= coarse.miss_rate * 1.05
+
+
+def test_ablation_xor_depth(benchmark):
+    result = run_once(benchmark, naming_depth_study)
+    print("\n" + result.render())
+    shallow = result.row_for(1)
+    paper = result.row_for(4)
+    # Depth 1 folds only the allocator wrapper's return address: every
+    # allocation collapses onto one collided name and nothing is
+    # placeable — the failure mode Seidl & Zorn identified.
+    assert shallow.names == 1
+    assert shallow.placeable == 0
+    # Depth 4 (the paper's setting) distinguishes the allocation
+    # contexts and yields placeable unique names.
+    assert paper.names > shallow.names
+    assert paper.placeable >= 1
+    # Deeper folds cannot create *more* distinct contexts here, and the
+    # miss rate stays within noise of the depth-4 setting.
+    deep = result.row_for(8)
+    assert deep.names >= paper.names
+    assert paper.miss_rate <= deep.miss_rate * 1.05
+
+
+def test_ablation_popularity_cutoff(benchmark):
+    result = run_once(benchmark, sweep_popularity_cutoff)
+    print("\n" + result.render())
+    paper = result.point_for(0.99)
+    tiny = result.point_for(0.5)
+    assert paper.pct_reduction > 10
+    # Placing only half the popularity mass leaves conflicts unplaced.
+    assert paper.miss_rate <= tiny.miss_rate * 1.05
+
+
+def test_ablation_heap_placement(benchmark):
+    result = run_once(benchmark, sweep_heap_placement)
+    print("\n" + result.render())
+    with_heap = result.point_for(True)
+    without_heap = result.point_for(False)
+    # Stack/global placement provides the bulk; heap placement must not
+    # regress it (the paper's heap gains are small but non-negative).
+    assert without_heap.pct_reduction > 20
+    assert with_heap.miss_rate <= without_heap.miss_rate * 1.15
+
+
+def test_ablation_heap_discipline(benchmark):
+    from repro.experiments.ablations import sweep_heap_discipline
+
+    result = run_once(benchmark, sweep_heap_discipline)
+    print("\n" + result.render())
+    natural = result.row_for("natural")
+    ccdp = result.row_for("ccdp")
+    compact = result.row_for("ccdp-compact")
+    # The paper's Table 5 shape: full CCDP costs pages over natural.
+    assert ccdp.total_pages >= natural.total_pages
+    # The page-tuned variant gives back pages without losing the win.
+    assert compact.total_pages <= ccdp.total_pages
+    assert compact.miss_rate <= natural.miss_rate

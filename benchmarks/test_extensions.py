@@ -1,0 +1,71 @@
+"""Benches: extension studies beyond the paper's printed tables.
+
+These quantify three things the paper argues in prose:
+
+* zero run-time overhead for the five non-heap programs, per-allocation
+  overhead for the four heap programs (Section 7);
+* the L1-targeted placement's effect on a two-level hierarchy;
+* time-sampled TRG profiling retaining the placement win (Section 5.2's
+  proposed cheaper profiler).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_hierarchy_study,
+    run_overhead_report,
+    run_sampling_study,
+)
+
+NO_HEAP = ("compress", "go", "m88ksim", "fpppp", "mgrid")
+HEAP = ("deltablue", "espresso", "gcc", "groff")
+
+
+def test_overhead_report(benchmark):
+    report = run_once(benchmark, run_overhead_report)
+    print("\n" + report.render())
+    print(
+        "\nnote: heap-program net cycles are pessimistic at this trace "
+        "scale — per-allocation overhead is fixed while miss savings "
+        "shrink with trace length."
+    )
+    for name in NO_HEAP:
+        row = report.row_for(name)
+        assert row.overhead_instructions == 0, name
+        assert row.pays_off, name
+    for name in HEAP:
+        row = report.row_for(name)
+        assert row.overhead_instructions > 0, name
+        assert row.overhead_instructions == row.allocations * 24, name
+
+
+def test_hierarchy_study(benchmark):
+    result = run_once(benchmark, run_hierarchy_study)
+    print("\n" + result.render())
+    for row in result.rows:
+        # L1 improvements carry over: AMAT never worsens, and for the
+        # conflict programs it improves substantially.
+        assert row.ccdp.average_access_time() <= (
+            row.natural.average_access_time() * 1.02
+        ), row.program
+    m88 = result.row_for("m88ksim")
+    assert m88.ccdp.average_access_time() < (
+        m88.natural.average_access_time() * 0.7
+    )
+    mgrid = result.row_for("mgrid")
+    assert abs(
+        mgrid.ccdp.average_access_time() - mgrid.natural.average_access_time()
+    ) < 0.05
+
+
+def test_sampling_study(benchmark):
+    result = run_once(benchmark, run_sampling_study)
+    print("\n" + result.render())
+    exhaustive = result.rows[0]
+    assert exhaustive.sampled_fraction == 1.0
+    assert exhaustive.pct_reduction > 40
+    for row in result.rows[1:]:
+        # Sampled profiles must retain most of the exhaustive win.
+        assert row.pct_reduction > exhaustive.pct_reduction - 15, row.ratio_label

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 3 (heap-object miss rate vs reference count).
+
+Paper shapes asserted, per heap program:
+
+* the scatter has many points (every allocated heap object);
+* high-miss objects are *small* ("these objects tend to be small,
+  short-lived, and they have a high miss rate");
+* the high-miss objects collectively account for most heap misses ("the
+  accumulated reference count of these objects accounts for most of the
+  heap-based cache misses"), which is why CCDP's heap placement has so
+  little room.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_figure3
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, run_figure3)
+    print("\n" + result.render())
+
+    for program in ("deltablue", "espresso", "groff"):
+        points = result.points[program]
+        shape = result.shapes[program]
+        assert len(points) > 500, program
+        assert shape.mean_size_high_miss < 128, program
+        assert shape.high_miss_share_of_heap_misses > 60, program
+
+    # gcc's heap objects are obstack blocks — larger, but still the
+    # high-miss group dominates heap misses.
+    assert result.shapes["gcc"].high_miss_share_of_heap_misses > 50

@@ -1,0 +1,26 @@
+"""Bench: placement quality — the greedy heuristic vs random search.
+
+Not a paper table, but the paper's implicit claim: the TRG-driven greedy
+merge finds *good* placements, not merely better-than-natural ones.
+Asserted shape: for the conflict-driven programs, CCDP beats the best of
+dozens of random layouts, and random's mean is no better than natural.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_quality_study
+
+
+def test_quality_study(benchmark):
+    result = run_once(benchmark, run_quality_study)
+    print("\n" + result.render())
+
+    for row in result.rows:
+        assert row.beats_best_random, row.program
+        # Random search's *average* layout is no better than natural —
+        # natural placement encodes real structure (Section 5.1).
+        assert row.random_mean_miss >= row.natural_miss * 0.8, row.program
+        # And CCDP clears the best random layout by a real margin.
+        assert row.ccdp_miss <= row.random_best_miss * 0.98, row.program

@@ -1,0 +1,38 @@
+"""Bench: the Section 5.1 random-placement comparison.
+
+Paper claim: "most programs suffered significantly more data cache misses
+with random placement, often showing increases of 20% or more".
+
+Asserted shape: a majority of the nine programs get worse under random
+placement, and among those that get worse the mean increase exceeds 20%.
+
+Known deviation (documented in EXPERIMENTS.md): our synthetic natural
+layouts for the three conflict-storm programs (compress, m88ksim, fpppp)
+are deliberately adversarial — they encode the accidental aliasing that
+made CCDP's wins large in the paper — so random placement can partially
+escape their engineered conflicts.  The suite-level claim still holds.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_random_vs_natural
+
+
+def test_random_vs_natural(benchmark):
+    result = run_once(benchmark, run_random_vs_natural)
+    print("\n" + result.render())
+
+    worsened = [row for row in result.rows if row.pct_increase > 0]
+    assert len(worsened) >= 5, "a majority of programs must suffer"
+
+    mean_increase = sum(row.pct_increase for row in worsened) / len(worsened)
+    assert mean_increase > 20.0
+
+    # The heap-heavy programs lose allocation locality under random
+    # placement — they are reliably among the sufferers.
+    by_name = {row.program: row for row in result.rows}
+    assert by_name["deltablue"].pct_increase > 5
+    assert by_name["groff"].pct_increase > 5
+    assert by_name["espresso"].pct_increase > 5

@@ -1,0 +1,48 @@
+"""Bench: input sensitivity — one placement evaluated on every input.
+
+Generalizes Table 4's single train/test pair to a matrix.  Asserted
+shapes, from the paper's conclusion: CCDP "consistently improves data
+cache performance across all experiments, even when profiling inputs
+different from analyzed inputs":
+
+* no unseen input regresses beyond noise;
+* unseen-input reductions stay within the same band as the trained
+  input for the structurally stable programs (m88ksim, compress, groff);
+* go — the input-dependent program — keeps a positive but visibly
+  smaller reduction on unseen games;
+* mgrid stays at zero everywhere.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_input_sensitivity
+
+
+def test_input_sensitivity(benchmark):
+    result = run_once(benchmark, run_input_sensitivity)
+    print("\n" + result.render())
+
+    for cell in result.unseen_cells():
+        assert cell.ccdp_miss <= cell.natural_miss * 1.05, (
+            cell.program, cell.input_name,
+        )
+
+    for program in ("m88ksim", "compress", "groff"):
+        cells = result.cells_for(program)
+        trained = next(c for c in cells if c.trained_on)
+        for cell in cells:
+            if not cell.trained_on:
+                assert cell.pct_reduction > trained.pct_reduction - 15, (
+                    program, cell.input_name,
+                )
+
+    go_cells = result.cells_for("go")
+    go_trained = next(c for c in go_cells if c.trained_on)
+    for cell in go_cells:
+        if not cell.trained_on:
+            assert 0 < cell.pct_reduction < go_trained.pct_reduction
+
+    for cell in result.cells_for("mgrid"):
+        assert abs(cell.pct_reduction) < 2.0

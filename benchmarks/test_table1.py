@@ -1,0 +1,48 @@
+"""Bench: regenerate Table 1 (workload statistics, both inputs).
+
+Paper shape: nine programs, each with two inputs; compress/go/m88ksim/
+fpppp/mgrid allocate little or nothing; deltablue/espresso/gcc/groff are
+allocation-heavy with small average allocation sizes (tens of bytes);
+reference mixes differ strongly per program (mgrid ~100% to one global,
+gcc spread over all four categories).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+from repro.workloads import workload_names
+
+HEAP_HEAVY = {"deltablue", "espresso", "gcc", "groff"}
+NO_HEAP = {"compress", "go", "fpppp", "mgrid"}
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    print("\n" + result.render())
+
+    assert len(result.rows) == 2 * len(workload_names())
+    by_program: dict[str, list] = {}
+    for row in result.rows:
+        by_program.setdefault(row.program, []).append(row)
+
+    for name, rows in by_program.items():
+        assert len(rows) == 2, f"{name} must have train+test inputs"
+        train, test = rows
+        assert train.instructions != test.instructions
+        split = (
+            train.pct_stack + train.pct_global + train.pct_heap + train.pct_const
+        )
+        assert abs(split - 100.0) < 0.2
+
+    for name in HEAP_HEAVY:
+        for row in by_program[name]:
+            # gcc allocates few, large obstack blocks; the others churn
+            # through hundreds-to-thousands of small objects.
+            minimum = 100 if name == "gcc" else 500
+            assert row.alloc_count > minimum, name
+            assert row.avg_alloc_size < 2100, name
+    for name in NO_HEAP:
+        for row in by_program[name]:
+            assert row.alloc_count == 0, name

@@ -1,0 +1,38 @@
+"""Bench: regenerate Table 2 (same-input miss rates, 8K DM / 32B lines).
+
+Paper shapes asserted:
+
+* average miss-rate reduction is large — the paper reports 30.35%; we
+  accept anything in the 20-45% band;
+* CCDP improves (or at worst ties) every program;
+* mgrid is the non-result (~0%);
+* m88ksim is among the biggest winners (>50%);
+* global misses dominate the original placement's misses and drop by a
+  third or more on average;
+* stack misses see a large relative reduction (the paper reports 61%).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, run_table2)
+    print("\n" + result.render())
+
+    assert 20.0 <= result.average_reduction <= 45.0
+
+    for row in result.rows:
+        assert row.ccdp.d_miss <= row.original.d_miss * 1.02, row.program
+
+    assert abs(result.row_for("mgrid").pct_reduction) < 2.0
+    assert result.row_for("m88ksim").pct_reduction > 50.0
+    assert result.row_for("deltablue").pct_reduction < 20.0
+
+    average = result.average
+    assert average.original.global_ > average.original.stack
+    assert average.ccdp.global_ < average.original.global_ * 0.75
+    assert average.ccdp.stack < average.original.stack * 0.5

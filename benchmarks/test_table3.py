@@ -1,0 +1,45 @@
+"""Bench: regenerate Table 3 (reference frequency by object size).
+
+Paper shapes asserted:
+
+* mgrid: a single >32 KB object holds ~100% of references — the
+  structural reason placement cannot help it (read with Table 2);
+* compress: a handful of objects, with large tables (>8 KB) and hot
+  mid-size buffers sharing the traffic;
+* deltablue: thousands of small (8-128 B) objects carrying most
+  references;
+* gcc: the 1-4 KB bucket (obstack blocks) carries the largest share.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+from repro.trace.stats import SIZE_BUCKET_LABELS
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, run_table3)
+    print("\n" + result.render())
+
+    assert set(result.rows) >= {"mgrid", "compress", "deltablue", "gcc"}
+    for row in result.rows.values():
+        assert abs(sum(row.pct_refs_per_bucket) - 100.0) < 0.2
+
+    giant_bucket = len(SIZE_BUCKET_LABELS) - 1
+    mgrid = result.rows["mgrid"]
+    assert mgrid.pct_refs_per_bucket[giant_bucket] > 90
+    assert mgrid.objects_per_bucket[giant_bucket] == 1
+
+    compress = result.rows["compress"]
+    assert compress.static_objects < 30
+    big_share = sum(compress.pct_refs_per_bucket[4:])
+    assert big_share > 20  # the two big tables draw real traffic
+
+    deltablue = result.rows["deltablue"]
+    assert deltablue.objects_per_bucket[1] > 1000
+    assert deltablue.pct_refs_per_bucket[1] > 60
+
+    gcc = result.rows["gcc"]
+    assert gcc.pct_refs_per_bucket[3] == max(gcc.pct_refs_per_bucket)

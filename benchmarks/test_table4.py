@@ -1,0 +1,37 @@
+"""Bench: regenerate Table 4 (cross-input miss rates — the realistic case).
+
+Paper shapes asserted:
+
+* average reduction stays large across inputs (paper: 23.75%; we accept
+  15-40%) but does not exceed the same-input experiment by much;
+* CCDP consistently improves performance "even when profiling inputs
+  different from analyzed inputs" — no program regresses more than
+  marginally;
+* mgrid remains ~0%.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_table2, run_table4
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, run_table4)
+    print("\n" + result.render())
+
+    assert 15.0 <= result.average_reduction <= 40.0
+
+    for row in result.rows:
+        assert row.ccdp.d_miss <= row.original.d_miss * 1.05, row.program
+
+    assert abs(result.row_for("mgrid").pct_reduction) < 2.0
+    assert result.row_for("m88ksim").pct_reduction > 40.0
+
+
+def test_table4_vs_table2_transfer(benchmark):
+    """Cross-input placement is no better than same-input on average."""
+    table4 = run_once(benchmark, run_table4)
+    table2 = run_table2()
+    assert table4.average_reduction <= table2.average_reduction + 3.0

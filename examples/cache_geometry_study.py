@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Section 5.2 in action: one placement, many cache geometries.
+
+The paper advises choosing the *smallest* cache you want to perform well
+on as the placement target.  This example places ``compress`` for an
+8 KB direct-mapped cache and evaluates the same executable on a sweep of
+geometries, including set-associative ones, printing where the placement
+still pays off and where associativity already does the job.
+"""
+
+from __future__ import annotations
+
+from repro import CacheConfig, build_placement, make_workload, measure
+from repro.runtime.resolvers import CCDPResolver, NaturalResolver
+
+GEOMETRIES = (
+    CacheConfig(4096, 32, 1),
+    CacheConfig(8192, 32, 1),
+    CacheConfig(16384, 32, 1),
+    CacheConfig(32768, 32, 1),
+    CacheConfig(8192, 32, 2),
+    CacheConfig(8192, 32, 4),
+    CacheConfig(8192, 64, 1),
+)
+
+
+def main() -> None:
+    workload = make_workload("compress")
+    target = CacheConfig(8192, 32, 1)
+    _profile, placement = build_placement(workload, cache_config=target)
+    print(f"placement computed once for {target.describe()}\n")
+    print(f"{'evaluated on':>14}  {'natural':>8}  {'ccdp':>8}  {'reduction':>9}")
+    for geometry in GEOMETRIES:
+        natural = measure(
+            workload, workload.test_input, NaturalResolver(), geometry
+        ).cache.miss_rate
+        ccdp = measure(
+            workload, workload.test_input, CCDPResolver(placement), geometry
+        ).cache.miss_rate
+        reduction = 100.0 * (natural - ccdp) / natural if natural else 0.0
+        print(
+            f"{geometry.describe():>14}  {natural:>7.2f}%  {ccdp:>7.2f}%  "
+            f"{reduction:>8.1f}%"
+        )
+    print(
+        "\nthe win is largest on the target geometry and shrinks as"
+        "\ncapacity or associativity absorb the conflicts on their own."
+    )
+
+
+if __name__ == "__main__":
+    main()

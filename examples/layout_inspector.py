@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Inspect a placement visually and archive it: maps + JSON round trip.
+
+This example mirrors how the paper's toolchain would actually be used in
+a compiler feedback loop:
+
+1. profile a training run and *save the profile to disk* (the paper's
+   Name/TRG profile files);
+2. reload the profile in a "linker" step and compute the placement;
+3. render ASCII cache-occupancy maps of the hot globals before and after
+   placement — conflicts show up as ``#`` columns;
+4. save the placement map (what the modified linker and custom malloc
+   consume) and verify the reloaded map drives an identical simulation.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import CCDPResolver, make_workload, measure
+from repro.core.algorithm import CCDPPlacer
+from repro.memory.layout import DATA_BASE
+from repro.memory.static_layout import layout_sequential
+from repro.profiling.serialize import (
+    load_placement,
+    load_profile,
+    save_placement,
+    save_profile,
+)
+from repro.reporting.cachemap import MappedEntity, render_cache_map
+from repro.runtime.driver import profile_workload
+from repro.trace.events import Category
+
+
+def hot_globals(profile, offsets_of, top=8):
+    popularity = profile.popularity()
+    entities = []
+    for entity in profile.entities_of(Category.GLOBAL):
+        offset = offsets_of(entity)
+        if offset is None:
+            continue
+        entities.append(
+            MappedEntity(
+                label=entity.key.split(":", 1)[1],
+                cache_offset=offset,
+                size=entity.size,
+                weight=popularity.get(entity.eid, 0),
+            )
+        )
+    entities.sort(key=lambda e: e.weight, reverse=True)
+    return entities[:top]
+
+
+def main() -> None:
+    workload = make_workload("fpppp")
+    workdir = Path(tempfile.mkdtemp(prefix="ccdp-"))
+
+    # 1. profile and archive.
+    profile = profile_workload(workload, workload.train_input)
+    profile_path = workdir / "fpppp.profile.json"
+    save_profile(profile, profile_path)
+    print(f"profile written to {profile_path} "
+          f"({profile_path.stat().st_size // 1024} KiB)")
+
+    # 2. reload in the "linker" and place.
+    profile = load_profile(profile_path)
+    placer = CCDPPlacer(profile)
+    placement = placer.place()
+
+    # 3. before/after occupancy maps of the hot globals.
+    config = placement.cache_config
+    ordered = sorted(
+        profile.entities_of(Category.GLOBAL), key=lambda e: e.decl_index
+    )
+    natural_addresses = layout_sequential(
+        [(e.key, e.size) for e in ordered], DATA_BASE
+    )
+    print()
+    print(render_cache_map(
+        hot_globals(profile, lambda e: natural_addresses[e.key] % config.size),
+        config,
+        title="fpppp hot globals — natural",
+    ))
+    print()
+    print(render_cache_map(
+        hot_globals(
+            profile,
+            lambda e: placement.global_cache_offset(e.key.split(":", 1)[1]),
+        ),
+        config,
+        title="fpppp hot globals — CCDP",
+    ))
+
+    # 4. archive the placement and prove the round trip is faithful.
+    placement_path = workdir / "fpppp.placement.json"
+    save_placement(placement, placement_path)
+    reloaded = load_placement(placement_path)
+    direct = measure(
+        workload, workload.test_input, CCDPResolver(placement)
+    ).cache.miss_rate
+    via_file = measure(
+        workload, workload.test_input, CCDPResolver(reloaded)
+    ).cache.miss_rate
+    print(f"\nplacement written to {placement_path}")
+    print(f"miss rate via in-memory map: {direct:.3f}%")
+    print(f"miss rate via reloaded map:  {via_file:.3f}%  "
+          f"({'identical' if direct == via_file else 'MISMATCH'})")
+
+
+if __name__ == "__main__":
+    main()

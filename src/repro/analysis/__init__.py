@@ -1,0 +1,56 @@
+"""Analysis: miss-rate tables, paging/working sets, and heap scatter data."""
+
+from .conflicts import (
+    ConflictPair,
+    conflict_report,
+    measured_conflicts,
+    predicted_conflicts,
+    render_conflicts,
+    total_cross_object_evictions,
+)
+from .lifetime import (
+    LifetimeSink,
+    LifetimeSummary,
+    ObjectLifetime,
+    summarize_lifetimes,
+)
+from .heap_scatter import HeapPoint, ScatterShape, heap_scatter, scatter_correlation
+from .missrates import (
+    MissRateRow,
+    PlacementMissRates,
+    average_reduction,
+    average_row,
+)
+from .trg_stats import ProfileSummary, render_summary, summarize_profile
+from .paging import (
+    PageTracker,
+    PagingSummary,
+    WORKING_SET_WINDOW_FRACTION,
+)
+
+__all__ = [
+    "ConflictPair",
+    "HeapPoint",
+    "LifetimeSink",
+    "LifetimeSummary",
+    "ObjectLifetime",
+    "MissRateRow",
+    "PageTracker",
+    "PagingSummary",
+    "PlacementMissRates",
+    "ScatterShape",
+    "WORKING_SET_WINDOW_FRACTION",
+    "average_reduction",
+    "conflict_report",
+    "measured_conflicts",
+    "predicted_conflicts",
+    "render_conflicts",
+    "total_cross_object_evictions",
+    "average_row",
+    "heap_scatter",
+    "scatter_correlation",
+    "ProfileSummary",
+    "render_summary",
+    "summarize_lifetimes",
+    "summarize_profile",
+]

@@ -1,0 +1,85 @@
+"""Profile and TRG summary statistics.
+
+The paper worries about TRG size ("large enough to keep the TRG within a
+manageable size") and about concentrating effort on the important
+relationships (Phase 0's popularity split).  This module computes the
+numbers behind those concerns for any profile: graph size, weight
+concentration, the popularity curve, and per-category entity counts —
+surfaced by the CLI and used by tests to sanity-check profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiling.profile_data import Profile
+from ..reporting.tables import render_table
+from ..trace.events import Category
+
+
+@dataclass(frozen=True)
+class ProfileSummary:
+    """Aggregate description of one profile."""
+
+    entities: int
+    entities_by_category: dict[Category, int]
+    total_accesses: int
+    trg_edges: int
+    trg_total_weight: int
+    max_edge_weight: int
+    popular_at_99: int
+    weight_share_top_decile: float
+
+
+def summarize_profile(profile: Profile) -> ProfileSummary:
+    """Compute the summary statistics for ``profile``."""
+    by_category = {category: 0 for category in Category}
+    for entity in profile.entities.values():
+        by_category[entity.category] += 1
+
+    weights = sorted(profile.trg.values(), reverse=True)
+    total_weight = sum(weights)
+    top_decile = weights[: max(1, len(weights) // 10)] if weights else []
+    top_share = (
+        100.0 * sum(top_decile) / total_weight if total_weight else 0.0
+    )
+
+    popularity = sorted(profile.popularity().values(), reverse=True)
+    popular = 0
+    if popularity and sum(popularity) > 0:
+        threshold = 0.99 * sum(popularity)
+        accumulated = 0
+        for weight in popularity:
+            if weight <= 0 or accumulated >= threshold:
+                break
+            accumulated += weight
+            popular += 1
+
+    return ProfileSummary(
+        entities=len(profile.entities),
+        entities_by_category=by_category,
+        total_accesses=profile.total_accesses,
+        trg_edges=len(profile.trg),
+        trg_total_weight=total_weight,
+        max_edge_weight=weights[0] if weights else 0,
+        popular_at_99=popular,
+        weight_share_top_decile=top_share,
+    )
+
+
+def render_summary(summary: ProfileSummary, title: str = "profile") -> str:
+    """Render the summary as a two-column table."""
+    rows = [
+        ("entities", summary.entities),
+        ("  stack", summary.entities_by_category[Category.STACK]),
+        ("  global", summary.entities_by_category[Category.GLOBAL]),
+        ("  heap", summary.entities_by_category[Category.HEAP]),
+        ("  const", summary.entities_by_category[Category.CONST]),
+        ("accesses", summary.total_accesses),
+        ("TRG edges", summary.trg_edges),
+        ("TRG total weight", summary.trg_total_weight),
+        ("max edge weight", summary.max_edge_weight),
+        ("popular @99%", summary.popular_at_99),
+        ("top-decile weight share %", round(summary.weight_share_top_decile, 1)),
+    ]
+    return render_table(["Metric", "Value"], rows, title=title)

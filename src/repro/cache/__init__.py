@@ -1,0 +1,15 @@
+"""Classifying data-cache simulator (direct-mapped, set-associative, 2-level)."""
+
+from .config import CacheConfig, PAPER_CACHE
+from .hierarchy import DEFAULT_L2, HierarchyStats, TwoLevelCache
+from .simulator import CacheSimulator, CacheStats
+
+__all__ = [
+    "CacheConfig",
+    "CacheSimulator",
+    "CacheStats",
+    "DEFAULT_L2",
+    "HierarchyStats",
+    "PAPER_CACHE",
+    "TwoLevelCache",
+]

@@ -1,0 +1,68 @@
+"""Cache geometry description.
+
+The paper's evaluation cache is an 8 KB direct-mapped data cache with
+32-byte lines (256 lines); Section 5.2 discusses extending placement to
+set-associative geometries, which :class:`CacheConfig` also describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a (virtually indexed) data cache.
+
+    Attributes:
+        size: Total capacity in bytes.
+        line_size: Cache line (block) size in bytes.
+        associativity: Ways per set; 1 means direct mapped.
+    """
+
+    size: int = 8192
+    line_size: int = 32
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.line_size <= 0 or self.associativity <= 0:
+            raise ValueError(f"invalid cache geometry: {self}")
+        if self.size % (self.line_size * self.associativity):
+            raise ValueError(
+                f"cache size {self.size} not divisible by "
+                f"line_size*associativity = {self.line_size * self.associativity}"
+            )
+        if self.line_size & (self.line_size - 1):
+            raise ValueError(f"line size must be a power of two, got {self.line_size}")
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (== lines for a direct-mapped cache)."""
+        return self.num_lines // self.associativity
+
+    def set_index(self, addr: int) -> int:
+        """The set an address maps to (virtually indexed)."""
+        return (addr // self.line_size) % self.num_sets
+
+    def block_addr(self, addr: int) -> int:
+        """The block-aligned address containing ``addr``."""
+        return addr - (addr % self.line_size)
+
+    def cache_offset(self, addr: int) -> int:
+        """The address modulo the cache size — the paper's placement offset."""
+        return addr % self.size
+
+    def describe(self) -> str:
+        """Short human-readable geometry string, e.g. ``8K/32B/direct``."""
+        kb = self.size / 1024
+        assoc = "direct" if self.associativity == 1 else f"{self.associativity}-way"
+        return f"{kb:g}K/{self.line_size}B/{assoc}"
+
+
+#: The paper's simulated data cache: 8 KB direct-mapped, 32-byte lines.
+PAPER_CACHE = CacheConfig(size=8192, line_size=32, associativity=1)

@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``list``     — show the nine benchmark workloads and their inputs.
+* ``stats``    — Table 1 statistics for one workload.
+* ``profile``  — run the profiler and write a profile JSON.
+* ``place``    — run the placement algorithm over a profile JSON.
+* ``run``      — full experiment (profile, place, simulate) for one
+  workload, printing original/CCDP/random miss rates.
+* ``map``      — ASCII cache-occupancy maps, natural vs CCDP.
+* ``summary``  — profile/TRG summary statistics.
+* ``tables``   — regenerate one of the paper's tables/figures or one of
+  the extension studies (quality, overhead, hierarchy, sampling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cache.config import CacheConfig
+from .core.algorithm import CCDPPlacer
+from .profiling.sampling import SamplingProfilerSink
+from .profiling.serialize import (
+    load_profile,
+    save_placement,
+    save_profile,
+)
+from .reporting.cachemap import MappedEntity, render_cache_map
+from .runtime.driver import (
+    build_placement,
+    collect_stats,
+    profile_workload,
+    run_experiment,
+)
+from .trace.events import Category
+from .workloads import make_workload, workload_names
+
+
+def _parse_cache(text: str) -> CacheConfig:
+    """Parse ``SIZE:LINE:ASSOC`` (e.g. ``8192:32:1``) into a config."""
+    try:
+        size, line, assoc = (int(part) for part in text.split(":"))
+        return CacheConfig(size, line, assoc)
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected SIZE:LINE:ASSOC, got {text!r} ({exc})"
+        ) from None
+
+
+def _add_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        type=_parse_cache,
+        default=CacheConfig(),
+        help="cache geometry as SIZE:LINE:ASSOC (default 8192:32:1)",
+    )
+
+
+def cmd_list(_args) -> int:
+    for name in workload_names():
+        workload = make_workload(name)
+        inputs = ", ".join(workload.inputs)
+        heap = "heap-placed" if workload.place_heap else "no heap placement"
+        print(f"{name:<10} inputs: {inputs:<28} [{heap}]")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    workload = make_workload(args.workload)
+    input_name = args.input or workload.train_input
+    stats = collect_stats(workload, input_name)
+    print(f"{workload.name} / {input_name}")
+    print(f"  instructions: {stats.instructions}")
+    print(f"  loads: {stats.pct_loads:.1f}%  stores: {stats.pct_stores:.1f}%")
+    for category in Category:
+        print(f"  {category.label.lower():<7} refs: "
+              f"{stats.pct_refs(category):.1f}%")
+    print(f"  mallocs: {stats.alloc_count} (avg {stats.avg_alloc_size:.1f} B)")
+    print(f"  frees:   {stats.free_count} (avg {stats.avg_free_size:.1f} B)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    workload = make_workload(args.workload)
+    input_name = args.input or workload.train_input
+    if args.sample:
+        sink = SamplingProfilerSink(cache_config=args.cache)
+        workload.run(sink, input_name)
+        profile = sink.profile
+        print(f"sampled {sink.sampling_ratio * 100:.1f}% of references")
+    else:
+        profile = profile_workload(workload, input_name, args.cache)
+    save_profile(profile, args.output)
+    print(
+        f"profiled {workload.name}/{input_name}: "
+        f"{len(profile.entities)} entities, {len(profile.trg)} TRG edges "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def cmd_place(args) -> int:
+    profile = load_profile(args.profile)
+    placer = CCDPPlacer(
+        profile, cache_config=args.cache, place_heap=not args.no_heap
+    )
+    placement = placer.place()
+    save_placement(placement, args.output)
+    stats = placement.stats
+    print(
+        f"placed {stats.popular_entities} popular entities "
+        f"({stats.merges} merges, {stats.heap_bins} heap bins) "
+        f"-> {args.output}"
+    )
+    if args.script:
+        from .reporting.linker_script import render_linker_script
+        from .trace.events import Category as _Category
+
+        sizes = {
+            e.key.split(":", 1)[1]: e.size
+            for e in profile.entities_of(_Category.GLOBAL)
+        }
+        with open(args.script, "w") as handle:
+            handle.write(render_linker_script(placement, sizes))
+        print(f"linker script -> {args.script}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = make_workload(args.workload)
+    test = workload.train_input if args.same_input else None
+    result = run_experiment(
+        workload,
+        test_input=test,
+        cache_config=args.cache,
+        include_random=args.random,
+        classify=True,
+    )
+    print(f"{workload.name}: train={result.train_input} "
+          f"test={result.test_input} cache={args.cache.describe()}")
+    rows = [("original", result.original.cache), ("ccdp", result.ccdp.cache)]
+    if result.random:
+        rows.append(("random", result.random.cache))
+    for label, cache in rows:
+        cats = "  ".join(
+            f"{cat.label}={cache.category_miss_rate(cat):.2f}"
+            for cat in Category
+        )
+        print(f"  {label:<9} D-Miss={cache.miss_rate:6.2f}%  {cats}")
+    print(f"  reduction: {result.miss_reduction_pct:.1f}%")
+    return 0
+
+
+def cmd_map(args) -> int:
+    workload = make_workload(args.workload)
+    profile, placement = build_placement(workload, cache_config=args.cache)
+    popularity = profile.popularity()
+
+    def entities_for(offsets_of) -> list[MappedEntity]:
+        entities = []
+        for entity in profile.entities_of(Category.GLOBAL):
+            offset = offsets_of(entity)
+            if offset is None:
+                continue
+            entities.append(
+                MappedEntity(
+                    label=entity.key.split(":", 1)[1],
+                    cache_offset=offset,
+                    size=entity.size,
+                    weight=popularity.get(entity.eid, 0),
+                )
+            )
+        return entities
+
+    # Natural: declaration order from the default data base.
+    from .memory.layout import DATA_BASE
+    from .memory.static_layout import layout_sequential
+
+    ordered = sorted(
+        profile.entities_of(Category.GLOBAL), key=lambda e: e.decl_index
+    )
+    natural = layout_sequential([(e.key, e.size) for e in ordered], DATA_BASE)
+    print(
+        render_cache_map(
+            entities_for(lambda e: natural[e.key] % args.cache.size),
+            args.cache,
+            title=f"{workload.name} — natural placement",
+        )
+    )
+    print()
+    print(
+        render_cache_map(
+            entities_for(
+                lambda e: placement.global_cache_offset(e.key.split(":", 1)[1])
+            ),
+            args.cache,
+            title=f"{workload.name} — CCDP placement",
+        )
+    )
+    return 0
+
+
+def cmd_summary(args) -> int:
+    from .analysis.trg_stats import render_summary, summarize_profile
+
+    workload = make_workload(args.workload)
+    input_name = args.input or workload.train_input
+    profile = profile_workload(workload, input_name, args.cache)
+    print(render_summary(
+        summarize_profile(profile),
+        title=f"{workload.name}/{input_name} profile summary",
+    ))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from . import experiments
+
+    runners = {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "table3": experiments.run_table3,
+        "table4": experiments.run_table4,
+        "table5": experiments.run_table5,
+        "figure3": experiments.run_figure3,
+        "random": experiments.run_random_vs_natural,
+        "geometry": experiments.run_geometry_sweep,
+        "associative": experiments.run_associative_placement,
+        "quality": experiments.run_quality_study,
+        "overhead": experiments.run_overhead_report,
+        "hierarchy": experiments.run_hierarchy_study,
+        "sampling": experiments.run_sampling_study,
+        "sensitivity": experiments.run_input_sensitivity,
+    }
+    result = runners[args.table]()
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cache-Conscious Data Placement (ASPLOS'98) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark workloads")
+
+    p_stats = sub.add_parser("stats", help="Table 1 statistics for a workload")
+    p_stats.add_argument("workload", choices=workload_names())
+    p_stats.add_argument("--input", help="input name (default: training input)")
+
+    p_profile = sub.add_parser("profile", help="profile a workload to JSON")
+    p_profile.add_argument("workload", choices=workload_names())
+    p_profile.add_argument("--input")
+    p_profile.add_argument("-o", "--output", required=True)
+    p_profile.add_argument(
+        "--sample", action="store_true", help="use time-sampled TRG profiling"
+    )
+    _add_cache_option(p_profile)
+
+    p_place = sub.add_parser("place", help="compute a placement from a profile")
+    p_place.add_argument("--profile", required=True)
+    p_place.add_argument("-o", "--output", required=True)
+    p_place.add_argument(
+        "--no-heap", action="store_true", help="skip heap placement"
+    )
+    p_place.add_argument(
+        "--script", help="also write a GNU-ld style linker script here"
+    )
+    _add_cache_option(p_place)
+
+    p_run = sub.add_parser("run", help="full experiment for one workload")
+    p_run.add_argument("workload", choices=workload_names())
+    p_run.add_argument(
+        "--same-input", action="store_true",
+        help="measure the training input (Table 2 mode)",
+    )
+    p_run.add_argument(
+        "--random", action="store_true", help="also measure random placement"
+    )
+    _add_cache_option(p_run)
+
+    p_map = sub.add_parser("map", help="ASCII cache-occupancy maps")
+    p_map.add_argument("workload", choices=workload_names())
+    _add_cache_option(p_map)
+
+    p_summary = sub.add_parser(
+        "summary", help="profile summary statistics for a workload"
+    )
+    p_summary.add_argument("workload", choices=workload_names())
+    p_summary.add_argument("--input")
+    _add_cache_option(p_summary)
+
+    p_tables = sub.add_parser("tables", help="regenerate a paper table/figure")
+    p_tables.add_argument(
+        "table",
+        choices=[
+            "table1", "table2", "table3", "table4", "table5",
+            "figure3", "random", "geometry", "associative",
+            "quality", "overhead", "hierarchy", "sampling", "sensitivity",
+        ],
+    )
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "stats": cmd_stats,
+    "profile": cmd_profile,
+    "place": cmd_place,
+    "run": cmd_run,
+    "map": cmd_map,
+    "summary": cmd_summary,
+    "tables": cmd_tables,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The CCDP placement algorithm (paper Figures 1 and 2)."""
+
+from .algorithm import CCDPPlacer, DEFAULT_POPULARITY_CUTOFF
+from .cache_struct import (
+    CacheImage,
+    active_chunks_by_entity,
+    build_adjacency,
+    chunk_line_span,
+    conflict_cost_scan,
+)
+from .compound import CompoundMerger, CompoundNode
+from .global_order import GlobalLayout, LayoutAtom, order_globals
+from .heap_prep import HeapPrepResult, preprocess_heap_objects
+from .placement_map import HeapDecision, PlacementMap, PlacementStats
+
+__all__ = [
+    "CCDPPlacer",
+    "CacheImage",
+    "CompoundMerger",
+    "CompoundNode",
+    "DEFAULT_POPULARITY_CUTOFF",
+    "GlobalLayout",
+    "HeapDecision",
+    "HeapPrepResult",
+    "LayoutAtom",
+    "PlacementMap",
+    "PlacementStats",
+    "active_chunks_by_entity",
+    "build_adjacency",
+    "chunk_line_span",
+    "conflict_cost_scan",
+    "order_globals",
+    "preprocess_heap_objects",
+]

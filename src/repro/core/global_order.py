@@ -1,0 +1,172 @@
+"""Phase 7: choosing the final global data-segment ordering.
+
+"A final ordering for the global objects starts by finding the most
+popular global object and using this to initialize the start of the global
+data segment.  The global objects are then searched for a popular object
+that has a preferred offset adjacent to the ending offset of the
+previously processed global.  If several candidates exist, the one with
+the highest temporal locality with the previously placed popular object is
+chosen.  If no popular object can be placed adjacent ... the popular
+object closest to the end of the previous placed global is chosen ...
+The gap created ... is filled with unpopular global objects.  After all
+the popular objects have been placed, the unprocessed unpopular objects
+are placed in the order of most frequently referenced to least frequently
+referenced." (paper, Section 3.3.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.layout import align_up
+
+#: Minimum alignment for globals in the data segment.
+GLOBAL_ALIGNMENT = 8
+
+
+@dataclass
+class LayoutAtom:
+    """An indivisible unit of the global layout.
+
+    A singleton popular global, or a Phase 5 group of small globals packed
+    into one cache line.  ``members`` maps entity id to its byte offset
+    relative to the atom origin; ``preferred_offset`` is the cache offset
+    the origin should map to.
+    """
+
+    members: dict[int, int]
+    preferred_offset: int
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.size:
+            self.size = max(self.members.values(), default=0)
+
+
+@dataclass
+class GlobalLayout:
+    """Result of Phase 7."""
+
+    offsets: dict[int, int] = field(default_factory=dict)
+    base_cache_offset: int = 0
+    total_size: int = 0
+    padding_bytes: int = 0
+
+
+def order_globals(
+    atoms: list[LayoutAtom],
+    unpopular: list[tuple[int, int, int]],
+    entity_popularity: dict[int, int],
+    pair_affinity: dict[tuple[int, int], int],
+    cache_size: int,
+    entity_sizes: dict[int, int],
+) -> GlobalLayout:
+    """Produce the data-segment layout (entity id -> segment offset).
+
+    Args:
+        atoms: Popular layout atoms with preferred cache offsets.
+        unpopular: Unpopular globals as ``(eid, size, refcount)`` tuples.
+        entity_popularity: Phase 0 popularity, to pick the seed atom.
+        pair_affinity: Entity-level TRG weights, for adjacency tie-breaks.
+        cache_size: Target cache size in bytes.
+        entity_sizes: Placement size of every entity (for atom extents).
+
+    Returns:
+        The segment layout plus the cache offset of segment offset 0.
+    """
+    layout = GlobalLayout()
+    filler = sorted(unpopular, key=lambda item: item[1], reverse=True)
+    remaining = list(atoms)
+    if not remaining:
+        _append_by_refcount(layout, filler)
+        return layout
+
+    def atom_popularity(atom: LayoutAtom) -> int:
+        return sum(entity_popularity.get(eid, 0) for eid in atom.members)
+
+    seed = max(remaining, key=atom_popularity)
+    remaining.remove(seed)
+    layout.base_cache_offset = seed.preferred_offset % cache_size
+    cursor = 0
+    _emit_atom(layout, seed, cursor)
+    cursor = align_up(seed.size, GLOBAL_ALIGNMENT)
+    previous = seed
+
+    while remaining:
+        current_cache = (layout.base_cache_offset + cursor) % cache_size
+        gaps = [
+            ((atom.preferred_offset - current_cache) % cache_size, atom)
+            for atom in remaining
+        ]
+        adjacent = [atom for gap, atom in gaps if gap == 0]
+        if adjacent:
+            chosen = max(adjacent, key=lambda a: _affinity(a, previous, pair_affinity))
+            gap = 0
+        else:
+            gap, chosen = min(gaps, key=lambda item: item[0])
+        remaining.remove(chosen)
+        if gap:
+            cursor = _fill_gap(layout, filler, cursor, gap)
+        _emit_atom(layout, chosen, cursor)
+        cursor = align_up(cursor + chosen.size, GLOBAL_ALIGNMENT)
+        previous = chosen
+
+    _append_by_refcount(layout, filler, cursor)
+    return layout
+
+
+def _affinity(
+    atom: LayoutAtom, previous: LayoutAtom, pair_affinity: dict[tuple[int, int], int]
+) -> int:
+    total = 0
+    for eid_a in atom.members:
+        for eid_b in previous.members:
+            pair = (eid_a, eid_b) if eid_a <= eid_b else (eid_b, eid_a)
+            total += pair_affinity.get(pair, 0)
+    return total
+
+
+def _emit_atom(layout: GlobalLayout, atom: LayoutAtom, cursor: int) -> None:
+    for eid, rel_offset in atom.members.items():
+        layout.offsets[eid] = cursor + rel_offset
+    layout.total_size = max(layout.total_size, cursor + atom.size)
+
+
+def _fill_gap(
+    layout: GlobalLayout,
+    filler: list[tuple[int, int, int]],
+    cursor: int,
+    gap: int,
+) -> int:
+    """Fill ``gap`` bytes before the next popular atom with unpopular globals.
+
+    Filler globals are consumed largest-first to minimize padding; any
+    remainder becomes padding so the next atom still hits its preferred
+    cache offset exactly.
+    """
+    end = cursor + gap
+    index = 0
+    while index < len(filler):
+        eid, size, _refs = filler[index]
+        aligned = align_up(cursor, GLOBAL_ALIGNMENT)
+        if aligned + size <= end:
+            layout.offsets[eid] = aligned
+            cursor = aligned + size
+            layout.total_size = max(layout.total_size, cursor)
+            filler.pop(index)
+        else:
+            index += 1
+    layout.padding_bytes += end - cursor
+    return end
+
+
+def _append_by_refcount(
+    layout: GlobalLayout, filler: list[tuple[int, int, int]], cursor: int = 0
+) -> None:
+    """Place leftover unpopular globals, most referenced first."""
+    for eid, size, _refs in sorted(filler, key=lambda item: item[2], reverse=True):
+        cursor = align_up(cursor, GLOBAL_ALIGNMENT)
+        layout.offsets[eid] = cursor
+        cursor += size
+    layout.total_size = max(layout.total_size, cursor)
+    filler.clear()

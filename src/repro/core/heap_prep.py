@@ -1,0 +1,144 @@
+"""Phase 1: heap-object preprocessing and allocation-bin tagging.
+
+"Heap objects are preprocessed, grouping heap objects which have temporal
+use and allocation locality together into heap allocation bins.  Many of
+these heap objects will not be marked as popular because they are
+short-lived." (paper, Phase 1 / Section 3.4)
+
+Two signals define locality between XOR heap names:
+
+* *allocation locality* — the names' allocations interleave (they appear
+  adjacently in the allocation stream), counted by the profiler's
+  ``alloc_adjacency``;
+* *temporal use locality* — entity-level TRG affinity between the names'
+  objects.
+
+Names connected by either signal above a small threshold are
+union-found into a bin.  Bins with a single member and a single
+allocation stay on the default free list (a dedicated bin would buy
+nothing).  Names whose objects were ever concurrently live (XOR
+collisions) are demoted to unpopular, but keep their bin tag — the paper
+is explicit that collided names "can still benefit from the custom
+malloc" (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiling.profile_data import Profile
+from ..profiling.trg import entity_affinity
+from ..trace.events import Category
+
+#: Minimum adjacency / affinity evidence before two names share a bin.
+DEFAULT_LOCALITY_THRESHOLD = 2
+
+#: Upper bound on distinct allocation bins (free lists) we will create.
+DEFAULT_MAX_BINS = 16
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a, b) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+@dataclass
+class HeapPrepResult:
+    """Output of Phase 1."""
+
+    bin_of_name: dict[int, int] = field(default_factory=dict)
+    demoted_entities: set[int] = field(default_factory=set)
+    placeable_heap_entities: list[int] = field(default_factory=list)
+    bin_count: int = 0
+
+
+def preprocess_heap_objects(
+    profile: Profile,
+    popular: set[int],
+    locality_threshold: int = DEFAULT_LOCALITY_THRESHOLD,
+    max_bins: int = DEFAULT_MAX_BINS,
+) -> HeapPrepResult:
+    """Assign bin tags and demote collided names (paper, Phase 1).
+
+    Args:
+        profile: The training-run profile.
+        popular: Popular entity ids from Phase 0 (mutated: collided heap
+            entities are removed).
+        locality_threshold: Minimum co-allocation/affinity weight for two
+            names to share a bin.
+        max_bins: Maximum number of distinct allocation bins.
+
+    Returns:
+        Bin tags per XOR name, the set of demoted entities, and the heap
+        entities that remain eligible for conflict placement (popular,
+        unique names).
+    """
+    result = HeapPrepResult()
+    heap_entities = profile.entities_of(Category.HEAP)
+    if not heap_entities:
+        return result
+
+    name_of_entity = {e.eid: e.heap_name for e in heap_entities}
+    entity_of_name = {e.heap_name: e.eid for e in heap_entities}
+
+    union = _UnionFind()
+    for name in entity_of_name:
+        union.find(name)
+
+    for (name_a, name_b), count in profile.alloc_adjacency.items():
+        if count >= locality_threshold:
+            if name_a in entity_of_name and name_b in entity_of_name:
+                union.union(name_a, name_b)
+
+    affinity = entity_affinity(profile.trg)
+    for (eid_a, eid_b), weight in affinity.items():
+        name_a = name_of_entity.get(eid_a)
+        name_b = name_of_entity.get(eid_b)
+        if name_a is None or name_b is None:
+            continue
+        if weight >= locality_threshold:
+            union.union(name_a, name_b)
+
+    groups: dict[object, list[int]] = {}
+    for name in entity_of_name:
+        groups.setdefault(union.find(name), []).append(name)
+
+    def group_allocs(names: list[int]) -> int:
+        return sum(
+            profile.entities[entity_of_name[n]].alloc_count for n in names
+        )
+
+    # Largest groups (by allocation traffic) get the limited bin tags.
+    ranked = sorted(groups.values(), key=group_allocs, reverse=True)
+    next_tag = 0
+    for names in ranked:
+        singleton = len(names) == 1 and group_allocs(names) <= 1
+        if singleton or next_tag >= max_bins:
+            continue
+        for name in names:
+            result.bin_of_name[name] = next_tag
+        next_tag += 1
+    result.bin_count = next_tag
+
+    for entity in heap_entities:
+        if entity.collided:
+            result.demoted_entities.add(entity.eid)
+            popular.discard(entity.eid)
+        elif entity.eid in popular:
+            result.placeable_heap_entities.append(entity.eid)
+    return result

@@ -1,0 +1,111 @@
+"""The placement map: the CCDP algorithm's output (paper, Phase 8).
+
+The map carries everything the "modified linker" and the custom malloc
+need: the new global data-segment order (with a segment base chosen so
+the first global lands on its preferred cache offset), the new stack
+start, and the heap allocation table keyed by XOR name, each entry
+carrying an optional allocation-bin tag and an optional preferred cache
+starting offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.config import CacheConfig
+from ..naming.xor import DEFAULT_NAME_DEPTH
+
+
+@dataclass(frozen=True)
+class HeapDecision:
+    """Custom-malloc directions for one XOR heap name (Section 3.4).
+
+    Attributes:
+        bin_tag: Allocation-bin free list to use, or ``None`` for the
+            default free list.
+        preferred_offset: Cache offset (address modulo cache size) the
+            object's start should map to, or ``None`` when the name was
+            not placed (unpopular / collided names).
+    """
+
+    bin_tag: int | None = None
+    preferred_offset: int | None = None
+
+
+@dataclass
+class PlacementStats:
+    """Diagnostics describing how the placement run went."""
+
+    popular_entities: int = 0
+    unpopular_entities: int = 0
+    merges: int = 0
+    anchors: int = 0
+    packed_small_globals: int = 0
+    heap_bins: int = 0
+    collided_heap_names: int = 0
+    total_conflict_cost: int = 0
+
+
+@dataclass
+class PlacementMap:
+    """Complete placement solution for one program.
+
+    Attributes:
+        cache_config: Geometry the placement was optimized for.
+        global_offsets: Global symbol -> byte offset within the (reordered)
+            data segment.
+        data_base: Absolute base address for the data segment, chosen so
+            that segment offsets realize the intended cache offsets.
+        stack_base: Absolute start address for the stack object.
+        heap_table: XOR name -> :class:`HeapDecision` allocation table.
+        name_depth: XOR fold depth the table's names were computed with.
+        stats: Placement diagnostics.
+    """
+
+    cache_config: CacheConfig
+    global_offsets: dict[str, int] = field(default_factory=dict)
+    data_base: int = 0
+    stack_base: int = 0
+    heap_table: dict[int, HeapDecision] = field(default_factory=dict)
+    name_depth: int = DEFAULT_NAME_DEPTH
+    stats: PlacementStats = field(default_factory=PlacementStats)
+
+    def global_address(self, symbol: str) -> int | None:
+        """Absolute address of a placed global, or None if unknown."""
+        offset = self.global_offsets.get(symbol)
+        if offset is None:
+            return None
+        return self.data_base + offset
+
+    def global_cache_offset(self, symbol: str) -> int | None:
+        """Cache offset a placed global's start maps to."""
+        address = self.global_address(symbol)
+        if address is None:
+            return None
+        return address % self.cache_config.size
+
+    def heap_decision(self, name: int) -> HeapDecision | None:
+        """Allocation-table lookup used by the custom malloc."""
+        return self.heap_table.get(name)
+
+    def validate(self, global_sizes: dict[str, int]) -> None:
+        """Check that no two globals overlap in the data segment.
+
+        Raises:
+            ValueError: On overlapping or missing layout entries.
+        """
+        spans = []
+        for symbol, offset in self.global_offsets.items():
+            size = global_sizes.get(symbol)
+            if size is None:
+                raise ValueError(f"placed unknown global {symbol!r}")
+            spans.append((offset, offset + size, symbol))
+        spans.sort()
+        for (s1, e1, sym1), (s2, _e2, sym2) in zip(spans, spans[1:]):
+            if e1 > s2:
+                raise ValueError(
+                    f"globals {sym1!r} and {sym2!r} overlap in the data segment"
+                )
+        missing = set(global_sizes) - set(self.global_offsets)
+        if missing:
+            raise ValueError(f"globals missing from placement: {sorted(missing)}")

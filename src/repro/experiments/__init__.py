@@ -1,0 +1,99 @@
+"""Per-table/figure experiment harnesses.
+
+One callable per evaluation artifact of the paper:
+
+* :func:`run_table1`  — workload statistics.
+* :func:`run_table2`  — same-input miss rates (ideal configuration).
+* :func:`run_table3`  — reference frequency by object size.
+* :func:`run_table4`  — cross-input miss rates (realistic configuration).
+* :func:`run_table5`  — paging / working sets for the heap programs.
+* :func:`run_figure3` — heap-object miss-rate-vs-references scatter.
+* :func:`run_random_vs_natural` — the Section 5.1 random baseline claim.
+* :func:`run_geometry_sweep` — the Section 5.2 cache-geometry study.
+"""
+
+from .common import (
+    HEAP_PROGRAMS,
+    all_programs,
+    cached_experiment,
+    cached_natural_run,
+    cached_random_run,
+    cached_stats,
+    clear_cache,
+    paper_cache,
+)
+from .extensions import (
+    HierarchyStudyResult,
+    SamplingStudyResult,
+    run_hierarchy_study,
+    run_overhead_report,
+    run_sampling_study,
+)
+from .figure3 import Figure3Result, run_figure3
+from .geometry import (
+    AssociativePlacementResult,
+    AssociativePlacementRow,
+    GeometryRow,
+    GeometrySweepResult,
+    run_associative_placement,
+    run_geometry_sweep,
+)
+from .sensitivity import (
+    SensitivityCell,
+    SensitivityResult,
+    run_input_sensitivity,
+)
+from .quality import QualityRow, QualityStudyResult, run_quality_study
+from .missrate_tables import MissRateTableResult, run_table2, run_table4
+from .random_vs_natural import (
+    RandomVsNaturalResult,
+    RandomVsNaturalRow,
+    run_random_vs_natural,
+)
+from .table1 import Table1Result, Table1Row, run_table1
+from .table3 import Table3Result, run_table3
+from .table5 import Table5Result, Table5Row, run_table5
+
+__all__ = [
+    "AssociativePlacementResult",
+    "AssociativePlacementRow",
+    "Figure3Result",
+    "GeometryRow",
+    "GeometrySweepResult",
+    "HEAP_PROGRAMS",
+    "HierarchyStudyResult",
+    "SamplingStudyResult",
+    "MissRateTableResult",
+    "QualityRow",
+    "QualityStudyResult",
+    "SensitivityCell",
+    "SensitivityResult",
+    "RandomVsNaturalResult",
+    "RandomVsNaturalRow",
+    "Table1Result",
+    "Table1Row",
+    "Table3Result",
+    "Table5Result",
+    "Table5Row",
+    "all_programs",
+    "cached_experiment",
+    "cached_natural_run",
+    "cached_random_run",
+    "cached_stats",
+    "clear_cache",
+    "paper_cache",
+    "run_associative_placement",
+    "run_figure3",
+    "run_geometry_sweep",
+    "run_hierarchy_study",
+    "run_input_sensitivity",
+    "run_overhead_report",
+    "run_sampling_study",
+    "run_quality_study",
+    "run_random_vs_natural",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

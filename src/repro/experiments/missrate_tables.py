@@ -1,0 +1,107 @@
+"""Tables 2 and 4: data-cache miss rates under original vs CCDP placement.
+
+Table 2 uses the *training* input for both placement and measurement (the
+ideal configuration); Table 4 measures the *testing* input with a
+placement trained on the other input (the realistic configuration).  Both
+report, per program: the overall miss rate and its per-category breakdown
+for each placement, and the percent reduction, over an 8 KB direct-mapped
+cache with 32-byte lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.missrates import (
+    MissRateRow,
+    PlacementMissRates,
+    average_reduction,
+    average_row,
+)
+from ..reporting.tables import render_table
+from .common import all_programs, cached_experiment
+
+
+@dataclass
+class MissRateTableResult:
+    """Rows of Table 2 or Table 4 plus the Average line."""
+
+    title: str
+    rows: list[MissRateRow]
+
+    @property
+    def average(self) -> MissRateRow:
+        """The unweighted per-column average (the paper's last row)."""
+        return average_row(self.rows)
+
+    @property
+    def average_reduction(self) -> float:
+        """Mean per-program percent reduction (the paper's headline)."""
+        return average_reduction(self.rows)
+
+    def row_for(self, program: str) -> MissRateRow:
+        """Look up one program's row."""
+        for row in self.rows:
+            if row.program == program:
+                return row
+        raise KeyError(program)
+
+    def render(self) -> str:
+        """Render in the paper's column layout."""
+        headers = [
+            "Program",
+            "D-Miss",
+            "Stack",
+            "Global",
+            "Heap",
+            "Const",
+            "|",
+            "D-Miss",
+            "Stack",
+            "Global",
+            "Heap",
+            "Const",
+            "%Red",
+        ]
+        body = []
+        for row in self.rows + [self.average]:
+            body.append(
+                (row.program,)
+                + row.original.as_tuple()
+                + ("|",)
+                + row.ccdp.as_tuple()
+                + (row.pct_reduction,)
+            )
+        return render_table(headers, body, title=self.title)
+
+
+def _build(title: str, same_input: bool, programs: list[str] | None):
+    rows = []
+    for name in programs or all_programs():
+        result = cached_experiment(name, same_input=same_input)
+        rows.append(
+            MissRateRow(
+                program=name,
+                original=PlacementMissRates.from_stats(result.original.cache),
+                ccdp=PlacementMissRates.from_stats(result.ccdp.cache),
+            )
+        )
+    return MissRateTableResult(title=title, rows=rows)
+
+
+def run_table2(programs: list[str] | None = None) -> MissRateTableResult:
+    """Table 2: profile and measure on the same (training) input."""
+    return _build(
+        "Table 2: miss rates, training input (8K direct-mapped, 32B lines)",
+        same_input=True,
+        programs=programs,
+    )
+
+
+def run_table4(programs: list[str] | None = None) -> MissRateTableResult:
+    """Table 4: place on the training input, measure on the testing input."""
+    return _build(
+        "Table 4: miss rates, testing input placed from training profile",
+        same_input=False,
+        programs=programs,
+    )

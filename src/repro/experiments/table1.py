@@ -1,0 +1,111 @@
+"""Table 1: program and input statistics.
+
+For each program and each of its two inputs the paper reports the number
+of executed instructions, the percentage that are loads and stores, the
+split of memory references over the Stack / Global / Heap / Const
+categories, and allocation statistics (count and average size of mallocs
+and frees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reporting.tables import render_table
+from ..trace.events import Category
+from ..workloads import make_workload
+from .common import all_programs, cached_stats
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (program, input) line of Table 1."""
+
+    program: str
+    input_name: str
+    instructions: int
+    pct_loads: float
+    pct_stores: float
+    pct_stack: float
+    pct_global: float
+    pct_heap: float
+    pct_const: float
+    alloc_count: int
+    avg_alloc_size: float
+    free_count: int
+    avg_free_size: float
+
+
+@dataclass
+class Table1Result:
+    """All Table 1 rows plus a renderer."""
+
+    rows: list[Table1Row]
+
+    def render(self) -> str:
+        """Render in the paper's column layout."""
+        headers = [
+            "Program",
+            "Input",
+            "Instr",
+            "%Lds",
+            "%Sts",
+            "Stack",
+            "Global",
+            "Heap",
+            "Const",
+            "Mallocs",
+            "AvgSz",
+            "Frees",
+            "AvgSz",
+        ]
+        body = [
+            (
+                row.program,
+                row.input_name,
+                row.instructions,
+                row.pct_loads,
+                row.pct_stores,
+                row.pct_stack,
+                row.pct_global,
+                row.pct_heap,
+                row.pct_const,
+                row.alloc_count,
+                row.avg_alloc_size,
+                row.free_count,
+                row.avg_free_size,
+            )
+            for row in self.rows
+        ]
+        return render_table(
+            headers, body, title="Table 1: workload statistics", precision=1
+        )
+
+
+def run_table1(programs: list[str] | None = None) -> Table1Result:
+    """Collect Table 1 statistics for every program and input."""
+    rows = []
+    for name in programs or all_programs():
+        workload = make_workload(name)
+        # The paper's Table 1 reports the training and testing inputs;
+        # additional (validation) inputs belong to the sensitivity study.
+        for input_name in (workload.train_input, workload.test_input):
+            stats = cached_stats(name, input_name)
+            rows.append(
+                Table1Row(
+                    program=name,
+                    input_name=input_name,
+                    instructions=stats.instructions,
+                    pct_loads=stats.pct_loads,
+                    pct_stores=stats.pct_stores,
+                    pct_stack=stats.pct_refs(Category.STACK),
+                    pct_global=stats.pct_refs(Category.GLOBAL),
+                    pct_heap=stats.pct_refs(Category.HEAP),
+                    pct_const=stats.pct_refs(Category.CONST),
+                    alloc_count=stats.alloc_count,
+                    avg_alloc_size=stats.avg_alloc_size,
+                    free_count=stats.free_count,
+                    avg_free_size=stats.avg_free_size,
+                )
+            )
+    return Table1Result(rows=rows)

@@ -1,0 +1,95 @@
+"""Table 5: paging behaviour under original vs CCDP placement.
+
+For the four heap-placement programs the paper reports the total number
+of 8 KB pages used and the average working-set size (window tau = 1% of
+execution), next to the Table 4 miss rates.  The expected *shape*: CCDP
+slightly increases total pages and working set — it optimizes cache-line
+reuse, not page reuse; the custom allocator's multiple bins and
+temporal-fit free lists spread the heap over more pages than a compact
+first-fit single bin (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reporting.tables import render_table
+from .common import HEAP_PROGRAMS, cached_experiment
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One program's paging comparison."""
+
+    program: str
+    original_d_miss: float
+    original_pages: int
+    original_working_set: float
+    ccdp_d_miss: float
+    ccdp_pages: int
+    ccdp_working_set: float
+
+
+@dataclass
+class Table5Result:
+    """All Table 5 rows plus a renderer."""
+
+    rows: list[Table5Row]
+
+    def row_for(self, program: str) -> Table5Row:
+        """Look up one program's row."""
+        for row in self.rows:
+            if row.program == program:
+                return row
+        raise KeyError(program)
+
+    def render(self) -> str:
+        """Render in the paper's column layout."""
+        headers = [
+            "Program",
+            "D-Miss",
+            "Pages",
+            "WorkSet",
+            "|",
+            "D-Miss",
+            "Pages",
+            "WorkSet",
+        ]
+        body = [
+            (
+                row.program,
+                row.original_d_miss,
+                row.original_pages,
+                row.original_working_set,
+                "|",
+                row.ccdp_d_miss,
+                row.ccdp_pages,
+                row.ccdp_working_set,
+            )
+            for row in self.rows
+        ]
+        return render_table(
+            headers,
+            body,
+            title="Table 5: 8KB pages used and working set (original | CCDP)",
+        )
+
+
+def run_table5(programs: tuple[str, ...] = HEAP_PROGRAMS) -> Table5Result:
+    """Measure paging for the heap-placement programs (testing input)."""
+    rows = []
+    for name in programs:
+        result = cached_experiment(name, same_input=False, track_pages=True)
+        original, ccdp = result.original, result.ccdp
+        rows.append(
+            Table5Row(
+                program=name,
+                original_d_miss=original.cache.miss_rate,
+                original_pages=original.paging.total_pages,
+                original_working_set=original.paging.working_set,
+                ccdp_d_miss=ccdp.cache.miss_rate,
+                ccdp_pages=ccdp.paging.total_pages,
+                ccdp_working_set=ccdp.paging.working_set,
+            )
+        )
+    return Table5Result(rows=rows)

@@ -1,0 +1,34 @@
+"""Memory substrate: address-space layout, free lists, and heap allocators."""
+
+from .allocators import BinnedHeap, FirstFitAllocator, TemporalFitAllocator
+from .freelist import Arena, DEFAULT_ALIGNMENT, FreeBlock, HeapError
+from .layout import (
+    DATA_BASE,
+    HEAP_BASE,
+    HEAP_BIN_STRIDE,
+    PAGE_SIZE,
+    STACK_BASE,
+    SegmentLayout,
+    TEXT_BASE,
+    WORD_SIZE,
+    align_up,
+)
+
+__all__ = [
+    "Arena",
+    "BinnedHeap",
+    "DATA_BASE",
+    "DEFAULT_ALIGNMENT",
+    "FirstFitAllocator",
+    "FreeBlock",
+    "HEAP_BASE",
+    "HEAP_BIN_STRIDE",
+    "HeapError",
+    "PAGE_SIZE",
+    "STACK_BASE",
+    "SegmentLayout",
+    "TEXT_BASE",
+    "TemporalFitAllocator",
+    "WORD_SIZE",
+    "align_up",
+]

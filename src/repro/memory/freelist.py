@@ -1,0 +1,204 @@
+"""Free-list machinery shared by the simulated heap allocators.
+
+Both the first-fit baseline allocator (Grunwald/Zorn-style single bin, the
+paper's "original placement" heap) and the CCDP temporal-fit allocator
+operate over an :class:`Arena`: a contiguous, growable region of the heap
+segment with an explicit free list.  The arena enforces the classic
+allocator invariants — free blocks are disjoint, address-sorted, coalesced,
+and never overlap live allocations — and raises :class:`HeapError` on any
+violation, which the property-based tests lean on heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class HeapError(Exception):
+    """Raised on allocator misuse (double free, overlapping free, ...)."""
+
+
+#: Minimum allocation alignment, matching common malloc implementations.
+DEFAULT_ALIGNMENT = 8
+
+
+@dataclass
+class FreeBlock:
+    """One contiguous run of free bytes inside an arena."""
+
+    addr: int
+    size: int
+    last_touch: int = 0
+
+    @property
+    def end(self) -> int:
+        """One past the last free byte."""
+        return self.addr + self.size
+
+
+@dataclass
+class Arena:
+    """A growable region of heap address space with an explicit free list.
+
+    The free list is kept sorted by address, fully coalesced.  ``brk`` is
+    the high-water mark: addresses in ``[base, brk)`` are either live or on
+    the free list; addresses at or above ``brk`` are untouched and can be
+    claimed by :meth:`extend`.
+    """
+
+    base: int
+    brk: int = field(init=False)
+    free_blocks: list[FreeBlock] = field(init=False, default_factory=list)
+    live: dict[int, int] = field(init=False, default_factory=dict)
+    clock: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.brk = self.base
+
+    # -- growth ----------------------------------------------------------
+
+    def extend(self, size: int, align_to: int = DEFAULT_ALIGNMENT) -> int:
+        """Claim ``size`` fresh bytes at the top of the arena.
+
+        Returns the address of the new region (aligned to ``align_to``);
+        any alignment padding is added to the free list so it is not lost.
+        """
+        addr = -(-self.brk // align_to) * align_to
+        if addr > self.brk:
+            self._insert_free(FreeBlock(self.brk, addr - self.brk, self.clock))
+        self.brk = addr + size
+        return addr
+
+    def extend_to_cache_offset(
+        self, size: int, cache_offset: int, cache_size: int
+    ) -> int:
+        """Claim fresh bytes whose start maps to ``cache_offset``.
+
+        Used by the custom allocator when an object has a preferred cache
+        starting location but no suitable free chunk exists: the break is
+        padded forward until ``addr % cache_size == cache_offset`` (the
+        padding is recorded as free space).
+        """
+        addr = -(-self.brk // DEFAULT_ALIGNMENT) * DEFAULT_ALIGNMENT
+        delta = (cache_offset - addr) % cache_size
+        addr += delta
+        if addr > self.brk:
+            self._insert_free(FreeBlock(self.brk, addr - self.brk, self.clock))
+        self.brk = addr + size
+        return addr
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def mark_live(self, addr: int, size: int) -> None:
+        """Register a completed allocation for invariant checking."""
+        if addr in self.live:
+            raise HeapError(f"allocation at 0x{addr:x} already live")
+        self.live[addr] = size
+        self.clock += 1
+
+    def release(self, addr: int) -> int:
+        """Remove a live allocation and return its size."""
+        size = self.live.pop(addr, None)
+        if size is None:
+            raise HeapError(f"free of unallocated address 0x{addr:x}")
+        self.clock += 1
+        return size
+
+    # -- free-list operations --------------------------------------------
+
+    def take_from_block(self, index: int, addr: int, size: int) -> None:
+        """Carve ``[addr, addr+size)`` out of ``free_blocks[index]``.
+
+        Splits the block into up to two remainders.  Each remainder is
+        stamped with the current clock, implementing the temporal-fit rule
+        that a free chunk is "touched" when one of its sides is allocated.
+        """
+        block = self.free_blocks[index]
+        if addr < block.addr or addr + size > block.end:
+            raise HeapError(
+                f"carve [{addr:#x},{addr + size:#x}) outside free block "
+                f"[{block.addr:#x},{block.end:#x})"
+            )
+        replacements = []
+        if addr > block.addr:
+            replacements.append(FreeBlock(block.addr, addr - block.addr, self.clock))
+        if addr + size < block.end:
+            replacements.append(
+                FreeBlock(addr + size, block.end - (addr + size), self.clock)
+            )
+        self.free_blocks[index : index + 1] = replacements
+
+    def add_free(self, addr: int, size: int) -> None:
+        """Return ``[addr, addr+size)`` to the free list, coalescing.
+
+        Coalesced neighbours are re-stamped with the current clock — the
+        temporal-fit "touched when part of the free chunk is deallocated"
+        rule.
+        """
+        if size <= 0:
+            return
+        self._insert_free(FreeBlock(addr, size, self.clock))
+
+    def _insert_free(self, block: FreeBlock) -> None:
+        blocks = self.free_blocks
+        lo, hi = 0, len(blocks)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if blocks[mid].addr < block.addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo > 0 and blocks[lo - 1].end > block.addr:
+            raise HeapError(
+                f"free block [{block.addr:#x},{block.end:#x}) overlaps "
+                f"predecessor ending at {blocks[lo - 1].end:#x}"
+            )
+        if lo < len(blocks) and block.end > blocks[lo].addr:
+            raise HeapError(
+                f"free block [{block.addr:#x},{block.end:#x}) overlaps "
+                f"successor at {blocks[lo].addr:#x}"
+            )
+        # Coalesce with predecessor and/or successor.
+        if lo > 0 and blocks[lo - 1].end == block.addr:
+            prev = blocks[lo - 1]
+            block = FreeBlock(prev.addr, prev.size + block.size, self.clock)
+            lo -= 1
+            blocks.pop(lo)
+        if lo < len(blocks) and blocks[lo].addr == block.end:
+            nxt = blocks[lo]
+            block = FreeBlock(block.addr, block.size + nxt.size, self.clock)
+            blocks.pop(lo)
+        blocks.insert(lo, block)
+
+    # -- introspection ----------------------------------------------------
+
+    def total_free_bytes(self) -> int:
+        """Bytes currently on the free list."""
+        return sum(b.size for b in self.free_blocks)
+
+    def total_live_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(self.live.values())
+
+    def check_invariants(self) -> None:
+        """Raise :class:`HeapError` if the arena state is inconsistent."""
+        prev_end = self.base - 1
+        for block in self.free_blocks:
+            if block.size <= 0:
+                raise HeapError(f"empty free block at {block.addr:#x}")
+            if block.addr <= prev_end and prev_end >= self.base:
+                raise HeapError("free list not sorted/disjoint")
+            if block.addr < self.base or block.end > self.brk:
+                raise HeapError("free block outside arena bounds")
+            prev_end = block.end
+        spans = sorted(self.live.items())
+        for (a1, s1), (a2, _s2) in zip(spans, spans[1:]):
+            if a1 + s1 > a2:
+                raise HeapError(f"live allocations overlap at {a2:#x}")
+        for addr, size in spans:
+            for block in self.free_blocks:
+                if addr < block.end and block.addr < addr + size:
+                    raise HeapError(
+                        f"live allocation [{addr:#x},{addr + size:#x}) overlaps "
+                        f"free block [{block.addr:#x},{block.end:#x})"
+                    )

@@ -1,0 +1,37 @@
+"""Sequential (natural) layout of statically sized objects.
+
+Both the profiler-side placement algorithm and the replayer need an
+agreed-upon *natural* layout: constants at their fixed text-segment
+addresses, and — under the original-placement baseline — globals in
+declaration order in the data segment.  This mirrors what a standard
+linker does.
+"""
+
+from __future__ import annotations
+
+from .freelist import DEFAULT_ALIGNMENT
+from .layout import align_up
+
+
+def layout_sequential(
+    items: list[tuple[str, int]],
+    base: int,
+    alignment: int = DEFAULT_ALIGNMENT,
+) -> dict[str, int]:
+    """Lay ``(key, size)`` items out back to back from ``base``.
+
+    Args:
+        items: Objects in declaration order.
+        base: Start address of the segment.
+        alignment: Per-object start alignment.
+
+    Returns:
+        Mapping from key to absolute start address.
+    """
+    addresses: dict[str, int] = {}
+    cursor = base
+    for key, size in items:
+        cursor = align_up(cursor, alignment)
+        addresses[key] = cursor
+        cursor += size
+    return addresses

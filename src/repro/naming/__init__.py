@@ -1,0 +1,5 @@
+"""XOR-folding heap allocation naming (Barrett & Zorn / Seidl & Zorn style)."""
+
+from .xor import DEFAULT_NAME_DEPTH, NameRecord, NameUniverse, xor_fold
+
+__all__ = ["DEFAULT_NAME_DEPTH", "NameRecord", "NameUniverse", "xor_fold"]

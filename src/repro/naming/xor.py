@@ -1,0 +1,125 @@
+"""XOR-folded heap allocation names (paper, Section 3.1 / 3.4).
+
+Heap object addresses change between runs, so the paper names each heap
+allocation by XOR-folding the call-site address of ``malloc`` with a few
+return addresses from the stack — the scheme of Barrett & Zorn, refined by
+Seidl & Zorn, who found a fold depth of 3-4 return addresses predicts well
+across inputs while deeper folds over-specialize.  The paper (and we) use a
+depth of 4.
+
+Names computed this way are stable across runs of the same (un-recompiled)
+program, cheap to compute, and occasionally collide: two concurrently live
+allocations may share a name.  The placement phases detect that case and
+demote such names to unpopular (Section 3.4), which
+:class:`NameUniverse` supports by tracking concurrent liveness per name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper's fold depth: "we use a name depth of 4" (Section 3.4).
+DEFAULT_NAME_DEPTH = 4
+
+
+def xor_fold(return_addresses: tuple[int, ...], depth: int = DEFAULT_NAME_DEPTH) -> int:
+    """Fold the ``depth`` most recent return addresses into one name.
+
+    ``return_addresses`` is ordered most recent first; the allocation call
+    site itself is element 0.  Addresses beyond ``depth`` are ignored.  An
+    empty tuple (allocation from top level) folds to 0.
+
+    Args:
+        return_addresses: Synthetic return-address stack, most recent first.
+        depth: How many addresses to fold; must be positive.
+
+    Returns:
+        The XOR of the first ``depth`` addresses.
+
+    Raises:
+        ValueError: If ``depth`` is not positive.
+    """
+    if depth <= 0:
+        raise ValueError(f"name depth must be positive, got {depth}")
+    name = 0
+    for address in return_addresses[:depth]:
+        name ^= address
+    return name
+
+
+@dataclass
+class NameRecord:
+    """Aggregate information about one XOR name across a run."""
+
+    name: int
+    allocation_count: int = 0
+    total_bytes: int = 0
+    max_size: int = 0
+    live_count: int = 0
+    max_live_count: int = 0
+    first_alloc_index: int | None = None
+
+    @property
+    def collided(self) -> bool:
+        """True when two objects with this name were ever live at once.
+
+        The paper marks such names unpopular during heap preprocessing
+        (Phase 1): their placement prediction would be ambiguous.
+        """
+        return self.max_live_count > 1
+
+    @property
+    def avg_size(self) -> float:
+        """Mean allocation size for this name, in bytes."""
+        if not self.allocation_count:
+            return 0.0
+        return self.total_bytes / self.allocation_count
+
+
+class NameUniverse:
+    """Track every XOR name observed in a run and its liveness behaviour."""
+
+    def __init__(self, depth: int = DEFAULT_NAME_DEPTH):
+        self.depth = depth
+        self.records: dict[int, NameRecord] = {}
+        self._name_of_object: dict[int, int] = {}
+        self._alloc_counter = 0
+
+    def observe_alloc(
+        self, obj_id: int, size: int, return_addresses: tuple[int, ...]
+    ) -> int:
+        """Record an allocation; returns the object's XOR name."""
+        name = xor_fold(return_addresses, self.depth)
+        record = self.records.get(name)
+        if record is None:
+            record = NameRecord(name=name, first_alloc_index=self._alloc_counter)
+            self.records[name] = record
+        record.allocation_count += 1
+        record.total_bytes += size
+        record.max_size = max(record.max_size, size)
+        record.live_count += 1
+        record.max_live_count = max(record.max_live_count, record.live_count)
+        self._name_of_object[obj_id] = name
+        self._alloc_counter += 1
+        return name
+
+    def observe_free(self, obj_id: int) -> None:
+        """Record a deallocation for liveness accounting."""
+        name = self._name_of_object.get(obj_id)
+        if name is None:
+            return
+        record = self.records[name]
+        if record.live_count > 0:
+            record.live_count -= 1
+
+    def name_of(self, obj_id: int) -> int | None:
+        """The XOR name assigned to ``obj_id``, or ``None`` if unknown."""
+        return self._name_of_object.get(obj_id)
+
+    def unique_names(self) -> list[int]:
+        """Names that never had two concurrently live objects."""
+        return [n for n, r in self.records.items() if not r.collided]
+
+    def collided_names(self) -> list[int]:
+        """Names whose objects were concurrently live at least once."""
+        return [n for n, r in self.records.items() if r.collided]

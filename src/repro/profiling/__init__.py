@@ -1,0 +1,36 @@
+"""Profiling: Name profile, placement entities, TRG, sampling, serialization."""
+
+from .profile_data import Entity, Profile, STACK_ENTITY_ID
+from .profiler import ProfilerSink
+from .sampling import SamplingProfilerSink, sampled_profile
+from .serialize import (
+    SerializationError,
+    load_placement,
+    load_profile,
+    save_placement,
+    save_profile,
+)
+from .trg import (
+    DEFAULT_CHUNK_SIZE,
+    QUEUE_THRESHOLD_CACHE_MULTIPLE,
+    TRGBuilder,
+    entity_affinity,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "Entity",
+    "Profile",
+    "ProfilerSink",
+    "QUEUE_THRESHOLD_CACHE_MULTIPLE",
+    "STACK_ENTITY_ID",
+    "SamplingProfilerSink",
+    "SerializationError",
+    "TRGBuilder",
+    "entity_affinity",
+    "load_placement",
+    "load_profile",
+    "sampled_profile",
+    "save_placement",
+    "save_profile",
+]

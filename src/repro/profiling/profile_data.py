@@ -1,0 +1,116 @@
+"""Profile data model: placement entities and the Name profile.
+
+The paper's framework profiles one run and places objects for another, so
+placement decisions must be keyed by *names that are stable across runs*
+(Section 3.1): globals and constants by their (link-time) identity, the
+stack as a single object, and heap allocations by their XOR-folded call
+sites.  We call each such stable unit a **placement entity**.  All heap
+objects that share an XOR name collapse into one entity; if two of them
+were ever live concurrently the entity is *collided* and will be demoted
+to unpopular during heap preprocessing (Section 3.4).
+
+The *Name profile* of the paper (Section 3) — object id, reference count,
+size, lifetime — lives on the entities themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trace.events import Category
+
+#: Entity id reserved for the stack (mirrors ``STACK_OBJECT_ID``).
+STACK_ENTITY_ID = 0
+
+
+@dataclass
+class Entity:
+    """One placement entity with its Name-profile record."""
+
+    eid: int
+    category: Category
+    key: str
+    size: int = 0
+    refs: int = 0
+    first_access: int | None = None
+    last_access: int | None = None
+    decl_index: int = 0
+    heap_name: int | None = None
+    alloc_count: int = 0
+    collided: bool = False
+
+    @property
+    def lifetime(self) -> int:
+        """Span of access timestamps covered by the entity."""
+        if self.first_access is None or self.last_access is None:
+            return 0
+        return self.last_access - self.first_access
+
+    def note_access(self, timestamp: int) -> None:
+        """Update reference count and lifetime for one access."""
+        self.refs += 1
+        if self.first_access is None:
+            self.first_access = timestamp
+        self.last_access = timestamp
+
+
+@dataclass
+class Profile:
+    """Complete output of one profiling run.
+
+    Attributes:
+        entities: Every placement entity, by entity id.
+        trg: TRGplace edge weights between (entity, chunk) pairs; the key
+            is a canonically ordered pair of (eid, chunk) tuples and the
+            value estimates the cache misses that would arise were the two
+            chunks mapped to the same cache line (paper, Section 3.2).
+        chunk_size: Placement granularity in bytes (paper: 256).
+        queue_threshold: Byte bound on the TRG recency queue
+            (paper: 2x the cache size).
+        alloc_adjacency: Counts of consecutive-allocation pairs of heap
+            names, used to detect allocation locality in Phase 1.
+        total_accesses: Number of memory references profiled.
+    """
+
+    entities: dict[int, Entity] = field(default_factory=dict)
+    trg: dict[tuple[tuple[int, int], tuple[int, int]], int] = field(
+        default_factory=dict
+    )
+    chunk_size: int = 256
+    queue_threshold: int = 16384
+    alloc_adjacency: dict[tuple[int, int], int] = field(default_factory=dict)
+    total_accesses: int = 0
+    name_depth: int = 4
+
+    def entity_by_key(self, key: str) -> Entity | None:
+        """Look an entity up by its stable cross-run key."""
+        for entity in self.entities.values():
+            if entity.key == key:
+                return entity
+        return None
+
+    def popularity(self) -> dict[int, int]:
+        """Per-entity popularity: the sum of incident TRGplace edge weights.
+
+        This is Phase 0's metric: "The popularity of an object is the sum
+        of the weights of the TRGplace edges that reference it."
+        """
+        totals = {eid: 0 for eid in self.entities}
+        for ((eid_a, _ca), (eid_b, _cb)), weight in self.trg.items():
+            totals[eid_a] = totals.get(eid_a, 0) + weight
+            if eid_b != eid_a:
+                totals[eid_b] = totals.get(eid_b, 0) + weight
+        return totals
+
+    def entities_of(self, category: Category) -> list[Entity]:
+        """All entities of one category, in entity-id order."""
+        return [
+            e for _eid, e in sorted(self.entities.items()) if e.category is category
+        ]
+
+    def edge_weight(
+        self, a: tuple[int, int], b: tuple[int, int]
+    ) -> int:
+        """TRGplace weight between two (entity, chunk) pairs (0 if absent)."""
+        key = (a, b) if a <= b else (b, a)
+        return self.trg.get(key, 0)

@@ -1,0 +1,110 @@
+"""Temporal Relationship Graph construction (paper, Section 3.2).
+
+The TRG is built during profiling with a bounded recency queue ``Q`` of the
+most recently accessed data.  When a chunk is referenced and found in
+``Q``, the edge weight between it and every chunk *in front of it* in the
+queue is incremented — each such intervening reference is one predicted
+cache miss were the two mapped to the same (direct-mapped) cache line.
+The referenced chunk then moves to the front.  The total byte size of
+queued chunks is bounded by the *queue-threshold* (the paper uses twice
+the cache size: older entries would likely have been displaced by
+capacity anyway).
+
+Granularity: relationships are kept between (entity, chunk) pairs, with a
+chunk size of 256 bytes, because whole-object edges make large objects
+impossible to place well (a lesson the paper carries over from procedure
+placement).
+"""
+
+from __future__ import annotations
+
+#: Placement granularity in bytes (paper, Section 3.2).
+DEFAULT_CHUNK_SIZE = 256
+
+#: Queue-threshold multiplier over the cache size (paper, Section 3.2).
+QUEUE_THRESHOLD_CACHE_MULTIPLE = 2
+
+PairKey = tuple[int, int]
+EdgeKey = tuple[PairKey, PairKey]
+
+
+class TRGBuilder:
+    """Incremental TRGplace construction over (entity, chunk) pairs."""
+
+    def __init__(self, queue_threshold: int, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if queue_threshold <= 0:
+            raise ValueError(f"queue threshold must be positive: {queue_threshold}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk size must be positive: {chunk_size}")
+        self.queue_threshold = queue_threshold
+        self.chunk_size = chunk_size
+        self.edges: dict[EdgeKey, int] = {}
+        self._queue: list[PairKey] = []
+        self._entry_bytes: dict[PairKey, int] = {}
+        self._queued_bytes = 0
+
+    def observe(self, eid: int, chunk: int, entry_bytes: int) -> None:
+        """Record one reference to chunk ``chunk`` of entity ``eid``.
+
+        Args:
+            eid: The referenced placement entity.
+            chunk: ``offset // chunk_size`` of the reference.
+            entry_bytes: Bytes this queue entry accounts for — the chunk
+                size, or the entity size when smaller.
+        """
+        key = (eid, chunk)
+        queue = self._queue
+        if queue and queue[0] == key:
+            # Hot path: repeated references to the same chunk create no
+            # temporal relationships and no queue movement.
+            return
+        edges = self.edges
+        try:
+            position = queue.index(key)
+        except ValueError:
+            position = -1
+        if position >= 0:
+            # Increment the edge to every entry between the front and the
+            # hit position: each was referenced between two references to
+            # `key`, so each would evict `key` in a shared cache line.
+            for other in queue[:position]:
+                if other[0] == eid and other[1] == chunk:
+                    continue
+                edge = (key, other) if key <= other else (other, key)
+                edges[edge] = edges.get(edge, 0) + 1
+            del queue[position]
+            self._queued_bytes -= self._entry_bytes[key]
+        queue.insert(0, key)
+        self._entry_bytes[key] = entry_bytes
+        self._queued_bytes += entry_bytes
+        while self._queued_bytes > self.queue_threshold and len(queue) > 1:
+            evicted = queue.pop()
+            self._queued_bytes -= self._entry_bytes.pop(evicted)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of (entity, chunk) pairs currently queued."""
+        return len(self._queue)
+
+    @property
+    def queued_bytes(self) -> int:
+        """Total bytes accounted to queued entries."""
+        return self._queued_bytes
+
+
+def entity_affinity(
+    edges: dict[EdgeKey, int]
+) -> dict[tuple[int, int], int]:
+    """Collapse chunk-level TRGplace edges to entity-level weights.
+
+    This is the Phase 4 derivation used when building TRGselect: for every
+    TRGplace edge between (obj1, chunk1) and (obj2, chunk2) with weight W,
+    accumulate W onto the entity pair (obj1, obj2).
+    """
+    totals: dict[tuple[int, int], int] = {}
+    for ((eid_a, _ca), (eid_b, _cb)), weight in edges.items():
+        if eid_a == eid_b:
+            continue
+        pair = (eid_a, eid_b) if eid_a <= eid_b else (eid_b, eid_a)
+        totals[pair] = totals.get(pair, 0) + weight
+    return totals

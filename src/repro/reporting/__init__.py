@@ -1,0 +1,18 @@
+"""ASCII table rendering, cache maps, scatter plots, linker scripts."""
+
+from .cachemap import MappedEntity, conflict_row, occupancy_rows, render_cache_map
+from .linker_script import render_linker_script
+from .scatterplot import ScatterPoint, render_scatter
+from .tables import format_cell, render_table
+
+__all__ = [
+    "MappedEntity",
+    "ScatterPoint",
+    "conflict_row",
+    "format_cell",
+    "occupancy_rows",
+    "render_cache_map",
+    "render_linker_script",
+    "render_scatter",
+    "render_table",
+]

@@ -1,0 +1,91 @@
+"""ASCII cache-occupancy maps.
+
+Renders which placement entities occupy which cache sets — the mental
+picture behind the whole CCDP algorithm — for either the natural or the
+CCDP placement.  Hot entities get letters, cold ones dots, collisions
+show as ``#``, so an aliasing pair is immediately visible as two rows of
+the same column range, and a CCDP placement as a tidy tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.config import CacheConfig
+
+#: Symbols assigned to entities, hottest first.
+_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class MappedEntity:
+    """One entity's footprint in the cache image."""
+
+    label: str
+    cache_offset: int
+    size: int
+    weight: float = 0.0
+
+
+def occupancy_rows(
+    entities: list[MappedEntity], config: CacheConfig
+) -> list[tuple[str, str]]:
+    """Per-entity occupancy strings over the cache's sets.
+
+    Returns ``(label, row)`` pairs where ``row`` has one character per
+    cache set: the entity's symbol where it resides, ``.`` elsewhere.
+    Entities are ordered hottest first and truncated to the symbol set.
+    """
+    ordered = sorted(entities, key=lambda e: e.weight, reverse=True)
+    rows = []
+    for index, entity in enumerate(ordered[: len(_SYMBOLS)]):
+        symbol = _SYMBOLS[index]
+        cells = ["."] * config.num_sets
+        first_line = entity.cache_offset // config.line_size
+        covered = max(1, -(-entity.size // config.line_size))
+        for step in range(min(covered, config.num_sets)):
+            cells[(first_line + step) % config.num_sets] = symbol
+        rows.append((f"{symbol} {entity.label}", "".join(cells)))
+    return rows
+
+
+def conflict_row(entities: list[MappedEntity], config: CacheConfig) -> str:
+    """One summary row marking sets where two or more entities overlap."""
+    counts = [0] * config.num_sets
+    for entity in entities:
+        first_line = entity.cache_offset // config.line_size
+        covered = max(1, -(-entity.size // config.line_size))
+        for step in range(min(covered, config.num_sets)):
+            counts[(first_line + step) % config.num_sets] += 1
+    return "".join("#" if c > 1 else ("-" if c == 1 else ".") for c in counts)
+
+
+def render_cache_map(
+    entities: list[MappedEntity],
+    config: CacheConfig,
+    title: str = "cache occupancy",
+    width: int = 64,
+) -> str:
+    """Render a labelled occupancy map, wrapped to ``width`` sets per band.
+
+    Args:
+        entities: Entities with resolved cache offsets.
+        config: Cache geometry (defines the number of sets).
+        title: Heading line.
+        width: Sets per output band (wraps long caches).
+
+    Returns:
+        A multi-line string: per-entity rows plus a conflict summary.
+    """
+    rows = occupancy_rows(entities, config)
+    summary = conflict_row(entities, config)
+    lines = [f"{title} ({config.describe()}, {config.num_sets} sets)"]
+    label_width = max((len(label) for label, _row in rows), default=0)
+    for band_start in range(0, config.num_sets, width):
+        band_end = min(band_start + width, config.num_sets)
+        lines.append(f"  sets {band_start}..{band_end - 1}")
+        for label, row in rows:
+            lines.append(f"  {label:<{label_width}}  {row[band_start:band_end]}")
+        lines.append(f"  {'conflicts':<{label_width}}  "
+                     f"{summary[band_start:band_end]}")
+    return "\n".join(lines)

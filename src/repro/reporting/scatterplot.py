@@ -1,0 +1,79 @@
+"""ASCII scatter plots (for Figure 3).
+
+A small text plotter: log-scaled X (reference counts span orders of
+magnitude, as in the paper's Figure 3), linear Y (miss rate 0-100%),
+density shown as ``.``/``o``/``#``/``@``.  Enough to eyeball the paper's
+signature shape — a dense column of small, high-miss, low-reference
+objects — directly in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Density glyphs, sparse to dense.
+_GLYPHS = ".o#@"
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One (x, y) point; x is typically a reference count, y a percent."""
+
+    x: float
+    y: float
+
+
+def render_scatter(
+    points: list[ScatterPoint],
+    title: str = "scatter",
+    width: int = 60,
+    height: int = 16,
+    y_max: float = 100.0,
+) -> str:
+    """Render points as a log-x / linear-y ASCII density plot.
+
+    Args:
+        points: The data; x values must be positive (log scale).
+        title: Heading line.
+        width: Plot width in columns.
+        height: Plot height in rows.
+        y_max: Top of the Y axis.
+
+    Returns:
+        The plot as a multi-line string.
+    """
+    usable = [p for p in points if p.x > 0]
+    if not usable:
+        return f"{title}\n  (no points)"
+    x_max = max(p.x for p in usable)
+    log_max = math.log10(x_max) if x_max > 1 else 1.0
+    counts = [[0] * width for _ in range(height)]
+    for point in usable:
+        col = 0
+        if log_max > 0:
+            col = int(math.log10(max(point.x, 1.0)) / log_max * (width - 1))
+        row = int(min(point.y, y_max) / y_max * (height - 1))
+        counts[height - 1 - row][min(col, width - 1)] += 1
+
+    peak = max((c for row in counts for c in row), default=1) or 1
+    lines = [title]
+    for row_index, row in enumerate(counts):
+        y_value = y_max * (height - 1 - row_index) / (height - 1)
+        cells = []
+        for count in row:
+            if count == 0:
+                cells.append(" ")
+            else:
+                glyph_index = min(
+                    len(_GLYPHS) - 1,
+                    int(len(_GLYPHS) * count / (peak + 1)),
+                )
+                cells.append(_GLYPHS[glyph_index])
+        label = f"{y_value:5.0f}%" if row_index % 4 == 0 else "      "
+        lines.append(f"{label} |{''.join(cells)}|")
+    lines.append("       " + "-" * (width + 2))
+    lines.append(
+        f"       1{'references (log scale)':^{width - 10}}{x_max:,.0f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Fixed-width ASCII table rendering for the experiment harnesses.
+
+Every experiment in :mod:`repro.experiments` renders its result through
+this module, so the benchmark output visually matches the layout of the
+paper's tables (program rows, per-category columns, a trailing Average
+line).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value: object, precision: int = 2) -> str:
+    """Render one cell: floats at fixed precision, everything else as str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a fixed-width table with right-aligned numeric columns.
+
+    Args:
+        headers: Column titles.
+        rows: Row cell values (numbers or strings).
+        title: Optional title line printed above the table.
+        precision: Decimal places for float cells.
+
+    Returns:
+        The rendered table as a single string.
+    """
+    formatted = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in formatted:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Runtime: placement resolvers, trace replay, and the experiment driver."""
+
+from .driver import (
+    ExperimentResult,
+    MeasureResult,
+    build_placement,
+    collect_stats,
+    measure,
+    profile_workload,
+    run_experiment,
+)
+from .replay import ReplaySink
+from .resolvers import (
+    AddressResolver,
+    CCDPResolver,
+    NaturalResolver,
+    RandomResolver,
+)
+
+__all__ = [
+    "AddressResolver",
+    "CCDPResolver",
+    "ExperimentResult",
+    "MeasureResult",
+    "NaturalResolver",
+    "RandomResolver",
+    "ReplaySink",
+    "build_placement",
+    "collect_stats",
+    "measure",
+    "profile_workload",
+    "run_experiment",
+]

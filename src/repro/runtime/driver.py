@@ -1,0 +1,175 @@
+"""End-to-end experiment driver.
+
+Chains the paper's pipeline for one program: profile the training input,
+run the placement algorithm, then measure the data-cache miss rate of the
+testing input under the original, CCDP, and (optionally) random
+placements.  All of the experiment harnesses in ``repro.experiments``
+build on these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.paging import PageTracker, PagingSummary
+from ..cache.config import CacheConfig
+from ..cache.simulator import CacheSimulator, CacheStats
+from ..core.algorithm import CCDPPlacer
+from ..core.placement_map import PlacementMap
+from ..profiling.profiler import ProfilerSink
+from ..profiling.profile_data import Profile
+from ..trace.stats import StatsSink, WorkloadStats
+from ..workloads.base import Workload
+from .replay import ReplaySink
+from .resolvers import (
+    AddressResolver,
+    CCDPResolver,
+    NaturalResolver,
+    RandomResolver,
+)
+
+
+@dataclass
+class MeasureResult:
+    """Outcome of simulating one (workload, input, placement) triple."""
+
+    cache: CacheStats
+    paging: PagingSummary | None = None
+
+
+@dataclass
+class ExperimentResult:
+    """Original vs CCDP (vs random) for one workload and test input."""
+
+    workload: str
+    train_input: str
+    test_input: str
+    profile: Profile
+    placement: PlacementMap
+    original: MeasureResult
+    ccdp: MeasureResult
+    random: MeasureResult | None = None
+
+    @property
+    def miss_reduction_pct(self) -> float:
+        """Percent reduction in miss rate, the paper's headline metric."""
+        base = self.original.cache.miss_rate
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.ccdp.cache.miss_rate) / base
+
+
+def profile_workload(
+    workload: Workload,
+    input_name: str,
+    cache_config: CacheConfig | None = None,
+    chunk_size: int = 256,
+    name_depth: int = 4,
+    queue_threshold: int | None = None,
+) -> Profile:
+    """Run the profiler over one input and return the Name+TRG profile."""
+    sink = ProfilerSink(
+        cache_config=cache_config,
+        chunk_size=chunk_size,
+        name_depth=name_depth,
+        queue_threshold=queue_threshold,
+    )
+    workload.run(sink, input_name)
+    return sink.profile
+
+
+def collect_stats(workload: Workload, input_name: str) -> WorkloadStats:
+    """Gather Table 1 statistics for one input."""
+    sink = StatsSink()
+    workload.run(sink, input_name)
+    return sink.stats
+
+
+def measure(
+    workload: Workload,
+    input_name: str,
+    resolver: AddressResolver,
+    cache_config: CacheConfig | None = None,
+    classify: bool = False,
+    track_pages: bool = False,
+) -> MeasureResult:
+    """Simulate one input under a placement and collect cache/page stats."""
+    cache = CacheSimulator(cache_config, classify=classify)
+    pages = PageTracker() if track_pages else None
+    sink = ReplaySink(resolver, cache, pages)
+    workload.run(sink, input_name)
+    paging = PagingSummary.from_tracker(pages) if pages else None
+    return MeasureResult(cache=cache.stats, paging=paging)
+
+
+def build_placement(
+    workload: Workload,
+    train_input: str | None = None,
+    cache_config: CacheConfig | None = None,
+    place_heap: bool | None = None,
+    **profiler_kwargs,
+) -> tuple[Profile, PlacementMap]:
+    """Profile the training input and run the placement algorithm."""
+    train = train_input or workload.train_input
+    profile = profile_workload(workload, train, cache_config, **profiler_kwargs)
+    placer = CCDPPlacer(
+        profile,
+        cache_config=cache_config,
+        place_heap=workload.place_heap if place_heap is None else place_heap,
+    )
+    return profile, placer.place()
+
+
+def run_experiment(
+    workload: Workload,
+    train_input: str | None = None,
+    test_input: str | None = None,
+    cache_config: CacheConfig | None = None,
+    include_random: bool = False,
+    random_seed: int = 12345,
+    classify: bool = False,
+    track_pages: bool = False,
+    place_heap: bool | None = None,
+) -> ExperimentResult:
+    """Full pipeline: profile on train, place, measure on test.
+
+    Setting ``test_input`` equal to ``train_input`` reproduces the
+    "ideal" Table 2 configuration; distinct inputs reproduce the
+    realistic Table 4 configuration.
+    """
+    train = train_input or workload.train_input
+    test = test_input or workload.test_input
+    profile, placement = build_placement(
+        workload, train, cache_config, place_heap=place_heap
+    )
+    original = measure(
+        workload, test, NaturalResolver(), cache_config, classify, track_pages
+    )
+    ccdp = measure(
+        workload,
+        test,
+        CCDPResolver(placement),
+        cache_config,
+        classify,
+        track_pages,
+    )
+    random_result = None
+    if include_random:
+        random_result = measure(
+            workload,
+            test,
+            RandomResolver(seed=random_seed),
+            cache_config,
+            classify,
+            track_pages,
+        )
+    return ExperimentResult(
+        workload=workload.name,
+        train_input=train,
+        test_input=test,
+        profile=profile,
+        placement=placement,
+        original=original,
+        ccdp=ccdp,
+        random=random_result,
+    )

@@ -1,0 +1,196 @@
+"""Address resolvers: how each placement policy assigns addresses.
+
+A resolver is the run-time half of a placement policy.  It watches the
+trace's declaration/allocation events and hands every data object a
+concrete virtual address:
+
+* :class:`NaturalResolver` — the *original placement*: globals in
+  declaration order in the data segment (what a standard linker emits),
+  the stack at its default base, heap objects from a single first-fit
+  free list (the Grunwald et al. baseline allocator the paper assumes).
+* :class:`RandomResolver` — the paper's random-placement comparison
+  (Section 5.1): globals in an arbitrary order, heap allocations at
+  arbitrary cache offsets.
+* :class:`CCDPResolver` — applies a :class:`~repro.core.PlacementMap`:
+  reordered globals from the chosen data base, the chosen stack base,
+  and the custom malloc — XOR name lookup into the allocation table,
+  allocation-bin free lists, temporal-fit with preferred cache offsets.
+
+Resolvers are single-use: construct a fresh one per measured run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.placement_map import PlacementMap
+from ..memory.allocators import BinnedHeap, FirstFitAllocator
+from ..memory.layout import (
+    DATA_BASE,
+    HEAP_BASE,
+    STACK_BASE,
+    TEXT_BASE,
+    align_up,
+)
+from ..memory.freelist import DEFAULT_ALIGNMENT
+from ..naming.xor import xor_fold
+from ..trace.events import Category, ObjectInfo, STACK_OBJECT_ID
+
+
+class AddressResolver:
+    """Base resolver: tracks object base addresses across the run."""
+
+    def __init__(self) -> None:
+        self.base_of: dict[int, int] = {STACK_OBJECT_ID: self.stack_base()}
+        self._text_cursor = TEXT_BASE
+
+    # -- overridables ------------------------------------------------------
+
+    def stack_base(self) -> int:
+        """Start address of the stack object."""
+        return STACK_BASE
+
+    def place_global(self, info: ObjectInfo) -> int:
+        """Address for a declared global."""
+        raise NotImplementedError
+
+    def place_heap(self, info: ObjectInfo, return_addresses: tuple[int, ...]) -> int:
+        """Address for a heap allocation."""
+        raise NotImplementedError
+
+    def free_heap(self, obj_id: int, addr: int) -> None:
+        """Release a heap allocation."""
+
+    # -- shared machinery ----------------------------------------------------
+
+    def place_constant(self, info: ObjectInfo) -> int:
+        """Constants keep their text-segment addresses under every policy."""
+        addr = align_up(self._text_cursor, DEFAULT_ALIGNMENT)
+        self._text_cursor = addr + info.size
+        return addr
+
+    def on_object(self, info: ObjectInfo) -> None:
+        """Assign an address to a statically declared object."""
+        if info.category is Category.CONST:
+            self.base_of[info.obj_id] = self.place_constant(info)
+        else:
+            self.base_of[info.obj_id] = self.place_global(info)
+
+    def on_alloc(self, info: ObjectInfo, return_addresses: tuple[int, ...]) -> None:
+        """Assign an address to a fresh heap object."""
+        self.base_of[info.obj_id] = self.place_heap(info, return_addresses)
+
+    def on_free(self, obj_id: int) -> None:
+        """Drop a heap object."""
+        addr = self.base_of.pop(obj_id, None)
+        if addr is not None:
+            self.free_heap(obj_id, addr)
+
+    def address_of(self, obj_id: int) -> int:
+        """Current base address of a live object."""
+        return self.base_of[obj_id]
+
+
+class NaturalResolver(AddressResolver):
+    """Original placement: declaration order + first-fit heap."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data_cursor = DATA_BASE
+        self._heap = FirstFitAllocator(HEAP_BASE)
+
+    def place_global(self, info: ObjectInfo) -> int:
+        addr = align_up(self._data_cursor, DEFAULT_ALIGNMENT)
+        self._data_cursor = addr + info.size
+        return addr
+
+    def place_heap(self, info: ObjectInfo, return_addresses) -> int:
+        return self._heap.allocate(info.size)
+
+    def free_heap(self, obj_id: int, addr: int) -> None:
+        self._heap.free(addr)
+
+
+class RandomResolver(AddressResolver):
+    """Arbitrary-order placement (the paper's random baseline).
+
+    Globals receive a random padding gap before each assignment so their
+    cache offsets are arbitrary (equivalent, modulo the cache size, to
+    laying the globals out in a shuffled order); heap allocations get a
+    random pad from a bump pointer for the same effect.  The stack keeps
+    its natural start — the paper randomizes "global and heap objects"
+    only.  Deterministic given ``seed``.
+    """
+
+    def __init__(self, seed: int = 0, max_pad: int = 8192):
+        self._rng = random.Random(seed)
+        self._max_pad = max_pad
+        super().__init__()
+        self._data_cursor = DATA_BASE
+        self._heap_cursor = HEAP_BASE
+
+    def place_global(self, info: ObjectInfo) -> int:
+        pad = self._rng.randrange(0, self._max_pad, DEFAULT_ALIGNMENT)
+        addr = align_up(self._data_cursor + pad, DEFAULT_ALIGNMENT)
+        self._data_cursor = addr + info.size
+        return addr
+
+    def place_heap(self, info: ObjectInfo, return_addresses) -> int:
+        pad = self._rng.randrange(0, self._max_pad, DEFAULT_ALIGNMENT)
+        addr = align_up(self._heap_cursor + pad, DEFAULT_ALIGNMENT)
+        self._heap_cursor = addr + info.size
+        return addr
+
+
+class CCDPResolver(AddressResolver):
+    """Apply a CCDP placement map: modified linker + custom malloc.
+
+    Args:
+        placement: The computed placement map.
+        compact_heap: When True, ignore the allocation table's bins and
+            preferred offsets and serve every allocation from a compact
+            first-fit heap — the "page-tuned" variant the paper leaves
+            as future work (Table 5 discussion): it keeps the
+            global/stack placement wins while holding page usage at the
+            natural baseline.
+    """
+
+    def __init__(self, placement: PlacementMap, compact_heap: bool = False):
+        self.placement = placement
+        self.compact_heap = compact_heap
+        super().__init__()
+        size = max(placement.global_offsets.values(), default=0)
+        # Globals the training run never saw fall back past the placed set.
+        self._fallback_cursor = placement.data_base + size + 65536
+        self._heap = BinnedHeap(placement.cache_config.size, HEAP_BASE)
+        self._compact = FirstFitAllocator(HEAP_BASE) if compact_heap else None
+
+    def stack_base(self) -> int:
+        return self.placement.stack_base
+
+    def place_global(self, info: ObjectInfo) -> int:
+        offset = self.placement.global_offsets.get(info.symbol)
+        if offset is None:
+            addr = align_up(self._fallback_cursor, DEFAULT_ALIGNMENT)
+            self._fallback_cursor = addr + info.size
+            return addr
+        return self.placement.data_base + offset
+
+    def place_heap(self, info: ObjectInfo, return_addresses) -> int:
+        if self._compact is not None:
+            return self._compact.allocate(info.size)
+        name = xor_fold(return_addresses, self.placement.name_depth)
+        decision = self.placement.heap_decision(name)
+        if decision is None:
+            return self._heap.allocate(info.size)
+        return self._heap.allocate(
+            info.size,
+            tag=decision.bin_tag,
+            preferred_offset=decision.preferred_offset,
+        )
+
+    def free_heap(self, obj_id: int, addr: int) -> None:
+        if self._compact is not None:
+            self._compact.free(addr)
+        else:
+            self._heap.free(addr)

@@ -1,0 +1,46 @@
+"""Object-level trace substrate: events, sinks, and workload statistics."""
+
+from .events import (
+    Access,
+    Alloc,
+    Category,
+    CATEGORY_ORDER,
+    Free,
+    ObjectInfo,
+    STACK_OBJECT_ID,
+    TraceError,
+)
+from .sinks import MultiSink, RecordingSink, TraceSink
+from .validate import ValidatingSink, Violation
+from .stats import (
+    SIZE_BUCKET_BOUNDS,
+    SIZE_BUCKET_LABELS,
+    SizeBucketRow,
+    StatsSink,
+    WorkloadStats,
+    size_breakdown,
+    size_bucket,
+)
+
+__all__ = [
+    "Access",
+    "Alloc",
+    "Category",
+    "CATEGORY_ORDER",
+    "Free",
+    "MultiSink",
+    "ObjectInfo",
+    "RecordingSink",
+    "SIZE_BUCKET_BOUNDS",
+    "SIZE_BUCKET_LABELS",
+    "STACK_OBJECT_ID",
+    "SizeBucketRow",
+    "StatsSink",
+    "TraceError",
+    "TraceSink",
+    "ValidatingSink",
+    "Violation",
+    "WorkloadStats",
+    "size_breakdown",
+    "size_bucket",
+]

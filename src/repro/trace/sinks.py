@@ -1,0 +1,148 @@
+"""Event sinks: the consumers of an object-level trace.
+
+A *sink* receives the trace produced by a workload run.  The profiler, the
+placement replayer, and the statistics collector are all sinks, so a single
+deterministic workload run can be replayed against any of them.
+
+The sink protocol is deliberately a set of plain methods rather than a
+single ``handle(event)`` dispatcher: the access path is the hot loop of
+every experiment and avoiding per-event object construction and dispatch
+keeps multi-hundred-thousand-reference traces tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from .events import Access, Alloc, Category, Free, ObjectInfo
+
+
+class TraceSink:
+    """Base sink; every hook is a no-op.
+
+    Subclasses override the subset of hooks they care about.
+
+    Hooks:
+        * :meth:`on_object` — a static object (global/constant/stack) was
+          declared before the run started.
+        * :meth:`on_access` — a load or store executed.
+        * :meth:`on_alloc` / :meth:`on_free` — heap lifetime events.
+        * :meth:`on_compute` — ``n`` non-memory instructions executed
+          (used only for instruction accounting, Table 1).
+        * :meth:`on_stack_depth` — the maximum stack extent grew.
+        * :meth:`on_end` — the run finished.
+    """
+
+    def on_object(self, info: ObjectInfo) -> None:
+        """Register a statically declared object (global, constant, stack)."""
+
+    def on_access(
+        self,
+        obj_id: int,
+        offset: int,
+        size: int,
+        is_store: bool,
+        category: Category,
+    ) -> None:
+        """Observe one load (``is_store=False``) or store (``is_store=True``)."""
+
+    def on_alloc(self, info: ObjectInfo, return_addresses: tuple[int, ...]) -> None:
+        """Observe a heap allocation."""
+
+    def on_free(self, obj_id: int) -> None:
+        """Observe a heap deallocation."""
+
+    def on_compute(self, instructions: int) -> None:
+        """Observe ``instructions`` executed instructions that touch no memory."""
+
+    def on_stack_depth(self, depth: int) -> None:
+        """Observe that the stack object now extends to ``depth`` bytes."""
+
+    def on_end(self) -> None:
+        """The workload run is complete."""
+
+
+class MultiSink(TraceSink):
+    """Fan one trace out to several sinks in order."""
+
+    def __init__(self, sinks: list[TraceSink]):
+        self.sinks = list(sinks)
+
+    def on_object(self, info: ObjectInfo) -> None:
+        for sink in self.sinks:
+            sink.on_object(info)
+
+    def on_access(self, obj_id, offset, size, is_store, category) -> None:
+        for sink in self.sinks:
+            sink.on_access(obj_id, offset, size, is_store, category)
+
+    def on_alloc(self, info, return_addresses) -> None:
+        for sink in self.sinks:
+            sink.on_alloc(info, return_addresses)
+
+    def on_free(self, obj_id) -> None:
+        for sink in self.sinks:
+            sink.on_free(obj_id)
+
+    def on_compute(self, instructions) -> None:
+        for sink in self.sinks:
+            sink.on_compute(instructions)
+
+    def on_stack_depth(self, depth) -> None:
+        for sink in self.sinks:
+            sink.on_stack_depth(depth)
+
+    def on_end(self) -> None:
+        for sink in self.sinks:
+            sink.on_end()
+
+
+class RecordingSink(TraceSink):
+    """Materialize the full event stream in memory.
+
+    Useful in tests and for small traces; experiments re-run the workload
+    generator instead of recording, because workloads are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.objects: list[ObjectInfo] = []
+        self.events: list[object] = []
+        self.max_stack_depth = 0
+        self.ended = False
+
+    def on_object(self, info: ObjectInfo) -> None:
+        self.objects.append(info)
+
+    def on_access(self, obj_id, offset, size, is_store, category) -> None:
+        self.events.append(Access(obj_id, offset, size, is_store, category))
+
+    def on_alloc(self, info, return_addresses) -> None:
+        self.events.append(Alloc(info, tuple(return_addresses)))
+
+    def on_free(self, obj_id) -> None:
+        self.events.append(Free(obj_id))
+
+    def on_stack_depth(self, depth) -> None:
+        self.max_stack_depth = max(self.max_stack_depth, depth)
+
+    def on_end(self) -> None:
+        self.ended = True
+
+    def replay(self, sink: TraceSink) -> None:
+        """Feed the recorded stream into another sink."""
+        for info in self.objects:
+            sink.on_object(info)
+        for event in self.events:
+            if type(event) is Access:
+                sink.on_access(
+                    event.obj_id,
+                    event.offset,
+                    event.size,
+                    event.is_store,
+                    event.category,
+                )
+            elif type(event) is Alloc:
+                sink.on_alloc(event.info, event.return_addresses)
+            else:
+                sink.on_free(event.obj_id)
+        if self.max_stack_depth:
+            sink.on_stack_depth(self.max_stack_depth)
+        sink.on_end()

@@ -1,0 +1,131 @@
+"""Trace-stream validation.
+
+The :class:`~repro.vm.Program` API validates as it emits, but traces can
+also arrive from a recording or a custom generator.  This sink checks
+the event-stream invariants independently:
+
+* objects are declared (or allocated) before they are accessed;
+* accesses stay within the object's bounds;
+* heap objects are freed at most once and never touched after free;
+* only heap objects are freed;
+* object ids are unique.
+
+It either raises on the first violation (``strict=True``) or records
+every violation for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import Category, ObjectInfo, STACK_OBJECT_ID, TraceError
+from .sinks import TraceSink
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected trace inconsistency."""
+
+    kind: str
+    obj_id: int
+    detail: str
+
+
+class ValidatingSink(TraceSink):
+    """Check trace invariants, optionally forwarding to another sink."""
+
+    def __init__(self, forward: TraceSink | None = None, strict: bool = True):
+        self.forward = forward
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self._sizes: dict[int, int] = {STACK_OBJECT_ID: 1 << 30}
+        self._categories: dict[int, Category] = {
+            STACK_OBJECT_ID: Category.STACK
+        }
+        self._freed: set[int] = set()
+
+    def _report(self, kind: str, obj_id: int, detail: str) -> None:
+        violation = Violation(kind=kind, obj_id=obj_id, detail=detail)
+        if self.strict:
+            raise TraceError(f"{kind}: {detail}")
+        self.violations.append(violation)
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_object(self, info: ObjectInfo) -> None:
+        if info.obj_id in self._sizes:
+            self._report(
+                "duplicate-object", info.obj_id,
+                f"object id {info.obj_id} declared twice",
+            )
+        self._sizes[info.obj_id] = info.size
+        self._categories[info.obj_id] = info.category
+        if self.forward:
+            self.forward.on_object(info)
+
+    def on_alloc(self, info: ObjectInfo, return_addresses) -> None:
+        if info.obj_id in self._sizes:
+            self._report(
+                "duplicate-object", info.obj_id,
+                f"heap object id {info.obj_id} reused",
+            )
+        self._sizes[info.obj_id] = info.size
+        self._categories[info.obj_id] = Category.HEAP
+        if self.forward:
+            self.forward.on_alloc(info, return_addresses)
+
+    def on_free(self, obj_id: int) -> None:
+        if obj_id not in self._sizes:
+            self._report("free-unknown", obj_id, f"free of unknown {obj_id}")
+        elif self._categories.get(obj_id) is not Category.HEAP:
+            self._report(
+                "free-non-heap", obj_id, f"free of non-heap object {obj_id}"
+            )
+        elif obj_id in self._freed:
+            self._report("double-free", obj_id, f"double free of {obj_id}")
+        self._freed.add(obj_id)
+        if self.forward:
+            self.forward.on_free(obj_id)
+
+    def on_access(self, obj_id, offset, size, is_store, category) -> None:
+        known_size = self._sizes.get(obj_id)
+        if known_size is None:
+            self._report(
+                "access-unknown", obj_id,
+                f"access to undeclared object {obj_id}",
+            )
+        elif obj_id in self._freed:
+            self._report(
+                "use-after-free", obj_id, f"access to freed object {obj_id}"
+            )
+        elif offset < 0 or offset + size > known_size:
+            self._report(
+                "out-of-bounds", obj_id,
+                f"access [{offset},{offset + size}) in object of "
+                f"size {known_size}",
+            )
+        elif self._categories.get(obj_id) is not category:
+            self._report(
+                "category-mismatch", obj_id,
+                f"access says {category.name}, object is "
+                f"{self._categories[obj_id].name}",
+            )
+        if self.forward:
+            self.forward.on_access(obj_id, offset, size, is_store, category)
+
+    def on_compute(self, instructions) -> None:
+        if self.forward:
+            self.forward.on_compute(instructions)
+
+    def on_stack_depth(self, depth) -> None:
+        if self.forward:
+            self.forward.on_stack_depth(depth)
+
+    def on_end(self) -> None:
+        if self.forward:
+            self.forward.on_end()
+
+    @property
+    def clean(self) -> bool:
+        """True when no violations were recorded."""
+        return not self.violations

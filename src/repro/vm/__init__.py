@@ -1,0 +1,5 @@
+"""Program execution context for synthetic workloads."""
+
+from .program import Program, Ref
+
+__all__ = ["Program", "Ref"]

@@ -1,0 +1,254 @@
+"""The ``Program`` execution context that synthetic workloads run against.
+
+A workload is Python code written against this API.  It declares globals
+and constants up front, then executes: it calls functions (pushing
+synthetic return addresses, which feed the XOR heap-naming scheme), opens
+stack frames, loads and stores objects at byte offsets, and allocates and
+frees heap objects.  Every action is forwarded to a
+:class:`~repro.trace.sinks.TraceSink`, so the same deterministic workload
+can drive the profiler, the placement replayer, or a statistics collector.
+
+This plays the role ATOM played for the paper's authors: it turns a
+program execution into an object-level reference trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..memory.layout import WORD_SIZE
+from ..trace.events import Category, ObjectInfo, STACK_OBJECT_ID, TraceError
+from ..trace.sinks import TraceSink
+
+
+class Ref:
+    """Handle to a declared or allocated data object."""
+
+    __slots__ = ("obj_id", "size", "category", "alive")
+
+    def __init__(self, obj_id: int, size: int, category: Category):
+        self.obj_id = obj_id
+        self.size = size
+        self.category = category
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ref(obj_id={self.obj_id}, size={self.size}, {self.category.name})"
+
+
+class Program:
+    """Execution context binding a workload run to a trace sink.
+
+    Typical use::
+
+        program = Program(sink)
+        table = program.add_global("table", 4096)
+        program.start()
+        with program.function(site=0x1000, frame_bytes=64):
+            program.load(table, 128)
+            node = program.malloc(24)
+            program.store(node, 0)
+            program.free(node)
+        program.finish()
+    """
+
+    def __init__(self, sink: TraceSink, validate: bool = True):
+        self.sink = sink
+        self.validate = validate
+        self._next_obj_id = STACK_OBJECT_ID + 1
+        self._decl_index = 0
+        self._started = False
+        self._finished = False
+        self._return_stack: list[int] = []
+        self._frame_bases: list[int] = []
+        self._sp = 0
+        self._max_sp = 0
+        self._static: list[ObjectInfo] = []
+
+    # -- declaration -------------------------------------------------------
+
+    def add_global(self, name: str, size: int) -> Ref:
+        """Declare a global variable of ``size`` bytes."""
+        return self._add_static(name, size, Category.GLOBAL)
+
+    def add_constant(self, name: str, size: int) -> Ref:
+        """Declare a constant object (lives in the text segment, never moved)."""
+        return self._add_static(name, size, Category.CONST)
+
+    def _add_static(self, name: str, size: int, category: Category) -> Ref:
+        if self._started:
+            raise TraceError("static objects must be declared before start()")
+        if size <= 0:
+            raise TraceError(f"object {name!r} must have positive size, got {size}")
+        info = ObjectInfo(
+            obj_id=self._next_obj_id,
+            category=category,
+            size=size,
+            symbol=name,
+            decl_index=self._decl_index,
+        )
+        self._next_obj_id += 1
+        self._decl_index += 1
+        self._static.append(info)
+        return Ref(info.obj_id, size, category)
+
+    # -- run control -------------------------------------------------------
+
+    def start(self) -> None:
+        """Publish static objects to the sink and begin the run."""
+        if self._started:
+            raise TraceError("start() called twice")
+        self._started = True
+        for info in self._static:
+            self.sink.on_object(info)
+
+    def finish(self) -> None:
+        """End the run, flushing final stack-extent information."""
+        if not self._started:
+            raise TraceError("finish() before start()")
+        if self._finished:
+            raise TraceError("finish() called twice")
+        self._finished = True
+        self.sink.on_stack_depth(max(self._max_sp, WORD_SIZE))
+        self.sink.on_end()
+
+    # -- control flow ------------------------------------------------------
+
+    @staticmethod
+    def _mix(site: int) -> int:
+        """Spread a synthetic site id over 32 bits (splitmix-style).
+
+        Workloads use small, patterned integers as call-site ids.  Raw
+        XOR-folding of such patterned values is degenerate (structured
+        bits cancel), which real return addresses do not exhibit; mixing
+        restores realistic avalanche while staying deterministic across
+        runs — the property the naming scheme depends on.
+        """
+        value = (site * 0x9E3779B9) & 0xFFFFFFFF
+        value ^= value >> 16
+        value = (value * 0x85EBCA6B) & 0xFFFFFFFF
+        value ^= value >> 13
+        return value
+
+    def call(self, site: int) -> None:
+        """Enter a function: push the call site's synthetic return address."""
+        self._return_stack.append(self._mix(site))
+
+    def ret(self) -> None:
+        """Leave the current function."""
+        if not self._return_stack:
+            raise TraceError("ret() with empty return stack")
+        self._return_stack.pop()
+
+    def push_frame(self, frame_bytes: int) -> None:
+        """Open a stack frame of ``frame_bytes`` locals."""
+        self._frame_bases.append(self._sp)
+        self._sp += frame_bytes
+        if self._sp > self._max_sp:
+            self._max_sp = self._sp
+            self.sink.on_stack_depth(self._sp)
+
+    def pop_frame(self) -> None:
+        """Close the current stack frame."""
+        if not self._frame_bases:
+            raise TraceError("pop_frame() with no open frame")
+        self._sp = self._frame_bases.pop()
+
+    @contextmanager
+    def function(self, site: int, frame_bytes: int = 0):
+        """Combined call + frame as a context manager."""
+        self.call(site)
+        if frame_bytes:
+            self.push_frame(frame_bytes)
+        try:
+            yield
+        finally:
+            if frame_bytes:
+                self.pop_frame()
+            self.ret()
+
+    @property
+    def return_addresses(self) -> tuple[int, ...]:
+        """Current synthetic return addresses, most recent first."""
+        return tuple(reversed(self._return_stack))
+
+    # -- memory references ---------------------------------------------------
+
+    def load(self, ref: Ref, offset: int, size: int = WORD_SIZE) -> None:
+        """Emit a load of ``size`` bytes at ``offset`` within ``ref``."""
+        self._access(ref, offset, size, is_store=False)
+
+    def store(self, ref: Ref, offset: int, size: int = WORD_SIZE) -> None:
+        """Emit a store of ``size`` bytes at ``offset`` within ``ref``."""
+        self._access(ref, offset, size, is_store=True)
+
+    def _access(self, ref: Ref, offset: int, size: int, is_store: bool) -> None:
+        if self.validate:
+            if not ref.alive:
+                raise TraceError(f"access to freed object {ref.obj_id}")
+            if offset < 0 or offset + size > ref.size:
+                raise TraceError(
+                    f"access [{offset},{offset + size}) outside object "
+                    f"{ref.obj_id} of size {ref.size}"
+                )
+        self.sink.on_access(ref.obj_id, offset, size, is_store, ref.category)
+
+    def load_local(self, frame_offset: int, size: int = WORD_SIZE) -> None:
+        """Load a local variable of the current frame (a stack reference)."""
+        self._stack_access(frame_offset, size, is_store=False)
+
+    def store_local(self, frame_offset: int, size: int = WORD_SIZE) -> None:
+        """Store a local variable of the current frame (a stack reference)."""
+        self._stack_access(frame_offset, size, is_store=True)
+
+    def _stack_access(self, frame_offset: int, size: int, is_store: bool) -> None:
+        if not self._frame_bases:
+            raise TraceError("stack access with no open frame")
+        base = self._frame_bases[-1]
+        offset = base + frame_offset
+        if self.validate and (frame_offset < 0 or offset + size > self._sp):
+            raise TraceError(
+                f"stack access at frame offset {frame_offset} exceeds frame"
+            )
+        self.sink.on_access(STACK_OBJECT_ID, offset, size, is_store, Category.STACK)
+
+    def compute(self, instructions: int) -> None:
+        """Execute ``instructions`` instructions that touch no memory."""
+        self.sink.on_compute(instructions)
+
+    # -- heap ----------------------------------------------------------------
+
+    def malloc(self, size: int, symbol: str | None = None) -> Ref:
+        """Allocate a heap object, capturing the live return-address stack."""
+        if size <= 0:
+            raise TraceError(f"malloc size must be positive, got {size}")
+        info = ObjectInfo(
+            obj_id=self._next_obj_id,
+            category=Category.HEAP,
+            size=size,
+            symbol=symbol or f"heap#{self._next_obj_id}",
+            decl_index=self._decl_index,
+        )
+        self._next_obj_id += 1
+        self._decl_index += 1
+        self.sink.on_alloc(info, self.return_addresses)
+        return Ref(info.obj_id, size, Category.HEAP)
+
+    def free(self, ref: Ref) -> None:
+        """Deallocate a heap object."""
+        if ref.category is not Category.HEAP:
+            raise TraceError("free() of a non-heap object")
+        if not ref.alive:
+            raise TraceError(f"double free of object {ref.obj_id}")
+        ref.alive = False
+        self.sink.on_free(ref.obj_id)
+
+    def realloc(self, ref: Ref, new_size: int) -> Ref:
+        """Resize a heap object.
+
+        Following the paper's methodology (Section 4), a realloc is treated
+        as a malloc of the new size followed by a free of the old object.
+        """
+        new_ref = self.malloc(new_size)
+        self.free(ref)
+        return new_ref

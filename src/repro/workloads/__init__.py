@@ -1,0 +1,37 @@
+"""The nine synthetic benchmark programs of the paper's evaluation.
+
+Importing this package registers every workload; use
+:func:`make_workload` / :func:`workload_names` to enumerate them in the
+paper's table order.
+"""
+
+from .base import Workload, WorkloadInput, make_workload, register, workload_names
+from .synthetic import (
+    SyntheticSpec,
+    SyntheticWorkload,
+    aliased_hot_set,
+    heap_churn_only,
+)
+
+# Importing the modules registers the workloads.
+from . import compress as _compress  # noqa: F401
+from . import deltablue as _deltablue  # noqa: F401
+from . import espresso as _espresso  # noqa: F401
+from . import fpppp as _fpppp  # noqa: F401
+from . import gcc as _gcc  # noqa: F401
+from . import go as _go  # noqa: F401
+from . import groff as _groff  # noqa: F401
+from . import m88ksim as _m88ksim  # noqa: F401
+from . import mgrid as _mgrid  # noqa: F401
+
+__all__ = [
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "Workload",
+    "WorkloadInput",
+    "make_workload",
+    "register",
+    "workload_names",
+    "aliased_hot_set",
+    "heap_churn_only",
+]

@@ -1,0 +1,145 @@
+"""Workload base class and registry.
+
+The paper evaluates nine programs: six SPEC95 codes (gcc, compress, go,
+m88ksim, fpppp, mgrid), two C++ programs (deltablue, groff) and espresso.
+We cannot run Alpha binaries, so each program is recreated as a *synthetic
+workload*: deterministic Python code written against the
+:class:`~repro.vm.Program` API that reproduces the published object-level
+profile of the original — the segment reference mix of Table 1, the
+object-size distribution of Table 3, the allocation behaviour, and the
+qualitative locality structure (e.g. mgrid's single huge array, compress's
+two large hash tables, deltablue's swarm of small short-lived nodes).
+
+Every workload defines at least two named inputs.  The first is the
+*training* input and the second the *testing* input (paper, Section 4);
+they differ in seed and scale, but the code structure — and therefore the
+synthetic call sites feeding the XOR naming scheme — is identical, exactly
+as for a recompiled-once real program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..trace.sinks import TraceSink
+from ..vm.program import Program
+
+
+@dataclass(frozen=True)
+class WorkloadInput:
+    """One named input to a workload.
+
+    Attributes:
+        name: Input identifier (e.g. a SPEC input file name).
+        seed: RNG seed; together with ``scale`` fully determines the trace.
+        scale: Size multiplier applied to the workload's iteration counts.
+    """
+
+    name: str
+    seed: int
+    scale: float = 1.0
+
+
+@dataclass
+class Workload:
+    """Base class for the nine synthetic benchmark programs.
+
+    Attributes:
+        name: Program name as it appears in the paper's tables.
+        inputs: Named inputs; by convention the first is the training
+            input and the second the testing input.
+        place_heap: Whether the paper applied heap placement to this
+            program (only deltablue, espresso, groff and gcc; Section 5).
+    """
+
+    name: str = "workload"
+    inputs: dict[str, WorkloadInput] = field(default_factory=dict)
+    place_heap: bool = False
+
+    @property
+    def train_input(self) -> str:
+        """Name of the profiling (training) input."""
+        return next(iter(self.inputs))
+
+    @property
+    def test_input(self) -> str:
+        """Name of the evaluation (testing) input."""
+        names = list(self.inputs)
+        return names[1] if len(names) > 1 else names[0]
+
+    def run(self, sink: TraceSink, input_name: str) -> None:
+        """Execute the workload against ``sink`` for the given input."""
+        spec = self.inputs[input_name]
+        program = Program(sink)
+        rng = random.Random(spec.seed)
+        self.body(program, rng, spec.scale)
+        program.finish()
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        """Declare objects, call ``program.start()``, then execute.
+
+        Subclasses implement the program here.  ``rng`` is the only
+        permitted randomness source and ``scale`` scales iteration counts.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def scaled(count: int, scale: float, minimum: int = 1) -> int:
+        """Scale an iteration count, clamped below by ``minimum``."""
+        return max(minimum, int(count * scale))
+
+    #: Synthetic address of the program's shared allocator wrapper
+    #: (xmalloc / operator new).  Real programs funnel allocations
+    #: through such a wrapper, which is why a fold depth of 1 (the
+    #: immediate call site) collapses every allocation onto one name and
+    #: the paper needs a depth of 3-4 (Section 3.4).
+    ALLOCATOR_WRAPPER_SITE = 0xF0F0
+
+    def alloc_node(self, program: Program, site: int, size: int):
+        """Allocate ``size`` bytes from ``site`` via the shared wrapper."""
+        program.call(site)
+        program.call(self.ALLOCATOR_WRAPPER_SITE)
+        ref = program.malloc(size)
+        program.ret()
+        program.ret()
+        return ref
+
+
+_REGISTRY: dict[str, type[Workload]] = {}
+
+
+def register(cls: type[Workload]) -> type[Workload]:
+    """Class decorator adding a workload to the global registry."""
+    instance = cls()
+    _REGISTRY[instance.name] = cls
+    return cls
+
+
+def workload_names() -> list[str]:
+    """Registered workload names, in the paper's table order."""
+    order = [
+        "deltablue",
+        "espresso",
+        "gcc",
+        "groff",
+        "compress",
+        "go",
+        "m88ksim",
+        "fpppp",
+        "mgrid",
+    ]
+    known = [name for name in order if name in _REGISTRY]
+    extras = sorted(set(_REGISTRY) - set(known))
+    return known + extras
+
+
+def make_workload(name: str) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+    return cls()

@@ -1,0 +1,152 @@
+"""``espresso`` — two-level logic minimizer.
+
+Espresso manipulates *covers* (sets of cubes); cubes are small heap-
+allocated bit-vector arrays (Table 3: ~13k objects of 8-128 bytes carrying
+~42% of references), continually allocated, compared, merged and freed.
+A modest set of global scratch cubes and parameter blocks is hot.  The
+paper reports a medium data-cache miss rate (3.1% / 5.7%) with the misses
+split between global and heap, and a ~22% same-input / ~6% cross-input
+reduction from CCDP.
+
+Synthetic structure: repeated expand/irredundant passes over a cover.
+Each pass walks the cube list, compares each cube against the global
+scratch cube and the unate table, allocates replacement cubes (alloc/free
+discipline gives many XOR names sequential lifetimes — placeable), and
+occasionally "reallocs" the cover array (modelled, per the paper's
+methodology, as malloc+free).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..vm.program import Program
+from .base import Workload, WorkloadInput, register
+
+_SITE_MAIN = 0x22000
+_SITE_EXPAND = 0x22100
+_SITE_ALLOC_CUBE = 0x22110
+_SITE_IRRED = 0x22200
+_SITE_ALLOC_TMP = 0x22210
+_SITE_COVER = 0x22300
+_SITE_ALLOC_COVER = 0x22310
+
+_CUBE_BYTES = 64
+_TMP_BYTES = 32
+
+
+@register
+class Espresso(Workload):
+    """Cover/cube manipulation with heavy small-object heap churn."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="espresso",
+            inputs={
+                "bca": WorkloadInput("bca", seed=3301, scale=1.0),
+                "ti": WorkloadInput("ti", seed=4407, scale=1.2),
+                "mlp4": WorkloadInput("mlp4", seed=5511, scale=0.9),
+            },
+            place_heap=True,
+        )
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        unate_table = program.add_constant("unate_table", 256)
+        # A cold configuration block precedes the hot scratch globals, so
+        # they sit clear of the stack in the natural layout; the remaining
+        # natural conflicts are the stack-vs-unate-table aliasing and the
+        # heap, matching the paper's espresso breakdown (heap-dominated).
+        config_block = program.add_global("config_block", 4096)
+        cube_params = program.add_global("cube_params", 64)
+        scratch_cube = program.add_global("scratch_cube", 128)
+        literal_counts = program.add_global("literal_counts", 512)
+        gasp_stats = program.add_global("gasp_stats", 96)
+        sparse_matrix = program.add_global("sparse_matrix", 2048)
+
+        program.start()
+        cover_size = self.scaled(180, scale)
+        passes = self.scaled(40, scale)
+
+        with program.function(_SITE_MAIN, frame_bytes=128):
+            cover = self._initial_cover(program, rng, cover_size)
+            for pass_index in range(passes):
+                self._expand(
+                    program, rng, cover, unate_table, cube_params, scratch_cube
+                )
+                self._irredundant(
+                    program, rng, cover, literal_counts, gasp_stats, sparse_matrix
+                )
+                if pass_index % 8 == 7:
+                    cover = self._regrow_cover(program, rng, cover)
+            for cube in cover:
+                program.free(cube)
+
+    def _initial_cover(self, program: Program, rng: random.Random, size: int):
+        cover = []
+        with program.function(_SITE_COVER, frame_bytes=48):
+            for _index in range(size):
+                cube = self.alloc_node(program, _SITE_ALLOC_CUBE, _CUBE_BYTES)
+                for word in range(0, _CUBE_BYTES, 16):
+                    program.store(cube, word)
+                cover.append(cube)
+        return cover
+
+    def _expand(
+        self, program, rng, cover, unate_table, cube_params, scratch_cube
+    ) -> None:
+        """Expand pass: compare every cube against the scratch cube."""
+        with program.function(_SITE_EXPAND, frame_bytes=96):
+            for index, cube in enumerate(cover):
+                program.load(cube_params, 0)
+                for word in range(0, _CUBE_BYTES, 16):
+                    program.load(cube, word)
+                    program.load(scratch_cube, word % 128)
+                program.load(unate_table, (index * 8) % 256)
+                program.store(scratch_cube, (index * 8) % 128)
+                program.store_local(8)
+                program.compute(12)
+                if rng.random() < 0.08:
+                    # Replace the cube with an expanded copy.
+                    replacement = self.alloc_node(
+                        program, _SITE_ALLOC_CUBE, _CUBE_BYTES
+                    )
+                    for word in range(0, _CUBE_BYTES, 16):
+                        program.load(cube, word)
+                        program.store(replacement, word)
+                    program.free(cube)
+                    cover[index] = replacement
+
+    def _irredundant(
+        self, program, rng, cover, literal_counts, gasp_stats, sparse_matrix
+    ) -> None:
+        """Irredundant pass: tally literals through a temp per cube pair."""
+        with program.function(_SITE_IRRED, frame_bytes=64):
+            step = max(1, len(cover) // 24)
+            for index in range(0, len(cover), step):
+                cube = cover[index]
+                partner = cover[(index * 7 + 3) % len(cover)]
+                temp = self.alloc_node(program, _SITE_ALLOC_TMP, _TMP_BYTES)
+                program.load(cube, 0)
+                program.load(partner, 16)
+                program.store(temp, 0)
+                program.load(temp, 0)
+                program.store(temp, 8)
+                program.load(literal_counts, (index * 8) % 512)
+                program.store(literal_counts, (index * 8) % 512)
+                program.load(sparse_matrix, (index * 32) % 2048)
+                program.store(gasp_stats, 8 * (index % 12))
+                program.load_local(16)
+                program.compute(9)
+                program.free(temp)
+
+    def _regrow_cover(self, program, rng, cover):
+        """Model espresso's cover reallocation as malloc+free (Section 4)."""
+        grown = []
+        with program.function(_SITE_COVER, frame_bytes=48):
+            for cube in cover:
+                moved = self.alloc_node(program, _SITE_ALLOC_COVER, _CUBE_BYTES)
+                program.load(cube, 0)
+                program.store(moved, 0)
+                program.free(cube)
+                grown.append(moved)
+        return grown

@@ -1,0 +1,121 @@
+"""``go`` — SPEC95 099.go, a Go-playing program.
+
+go is global-dominated: Table 3 lists 315 referenced objects, with 84
+objects of 1-4 KB carrying ~23% of references and a handful of large
+(8-32 KB, >32 KB) history/pattern structures.  Nearly all misses are
+global misses (Table 2: 8.09 of 9.66), and CCDP recovers ~35% same-input
+but only ~11% cross-input — go's behaviour is strongly input (game)
+dependent, which the different seeds model.  No heap placement (go barely
+allocates).
+
+Synthetic structure: a game loop.  Every move generation pass scans the
+board and liberty arrays (hot, ~0.5 KB each), consults a rotating subset
+of pattern tables (many 1-4 KB globals — which subset is hot depends on
+the game, i.e. the input seed), scores moves through evaluation scratch
+arrays, and records history into big, colder tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..vm.program import Program
+from .base import Workload, WorkloadInput, register
+
+_SITE_MAIN = 0x66000
+_SITE_GENMOVE = 0x66100
+_SITE_PATTERN = 0x66200
+_SITE_EVAL = 0x66300
+_SITE_UPDATE = 0x66400
+
+_BOARD_BYTES = 512
+_NUM_PATTERNS = 20
+_PATTERN_BYTES = 2048
+
+
+@register
+class Go(Workload):
+    """Board scanning + pattern matching over many mid-size globals."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="go",
+            inputs={
+                "9x9-level5": WorkloadInput("9x9-level5", seed=11001, scale=1.0),
+                "13x13-level3": WorkloadInput("13x13-level3", seed=12007, scale=1.2),
+                "9x9-level8": WorkloadInput("9x9-level8", seed=13117, scale=1.1),
+            },
+            place_heap=False,
+        )
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        board = program.add_global("board", _BOARD_BYTES)
+        liberties = program.add_global("liberties", _BOARD_BYTES)
+        patterns = [
+            program.add_global(f"pattern_{i}", _PATTERN_BYTES)
+            for i in range(_NUM_PATTERNS)
+        ]
+        joseki_book = program.add_constant("joseki_book", 4096)
+        eval_scratch = program.add_global("eval_scratch", 1024)
+        move_scores = program.add_global("move_scores", 768)
+        game_history = program.add_global("game_history", 24576)
+        group_info = program.add_global("group_info", 3072)
+
+        program.start()
+        moves = self.scaled(120, scale)
+        # The input (seed) decides which pattern tables this game exercises.
+        hot_patterns = rng.sample(range(_NUM_PATTERNS), 8)
+
+        with program.function(_SITE_MAIN, frame_bytes=112):
+            for move in range(moves):
+                with program.function(_SITE_GENMOVE, frame_bytes=160):
+                    if move % 4 == 0:
+                        # Full board rescans are incremental in practice.
+                        self._scan_board(program, board, liberties, group_info)
+                    self._match_patterns(
+                        program, rng, patterns, hot_patterns, board, joseki_book
+                    )
+                    self._evaluate(
+                        program, rng, eval_scratch, move_scores, liberties
+                    )
+                    self._update(program, rng, move, board, game_history, group_info)
+
+    def _scan_board(self, program, board, liberties, group_info) -> None:
+        for point in range(0, _BOARD_BYTES, 8):
+            program.load(board, point)
+            program.load(liberties, point)
+            if point % 64 == 0:
+                program.load(group_info, (point * 6) % 3072)
+            program.compute(3)
+
+    def _match_patterns(
+        self, program, rng, patterns, hot_patterns, board, joseki_book
+    ) -> None:
+        with program.function(_SITE_PATTERN, frame_bytes=96):
+            for pattern_index in hot_patterns:
+                table = patterns[pattern_index]
+                anchor = rng.randrange(0, _PATTERN_BYTES - 64, 8)
+                for probe in range(10):
+                    program.load(table, (anchor + probe * 8) % _PATTERN_BYTES)
+                program.load(board, rng.randrange(0, _BOARD_BYTES, 8))
+                program.load(joseki_book, rng.randrange(0, 4096, 8))
+                program.store_local(8)
+                program.compute(8)
+
+    def _evaluate(self, program, rng, eval_scratch, move_scores, liberties) -> None:
+        with program.function(_SITE_EVAL, frame_bytes=128):
+            for slot in range(0, 768, 16):
+                program.load(eval_scratch, slot % 1024)
+                program.store(move_scores, slot)
+                program.load(liberties, (slot * 2) % _BOARD_BYTES)
+                program.compute(4)
+            program.store(eval_scratch, rng.randrange(0, 1024, 8))
+
+    def _update(self, program, rng, move, board, game_history, group_info) -> None:
+        with program.function(_SITE_UPDATE, frame_bytes=80):
+            point = rng.randrange(0, _BOARD_BYTES, 8)
+            program.store(board, point)
+            program.store(game_history, (move * 96) % 24576)
+            program.store(group_info, (point * 6) % 3072)
+            program.store_local(16)
+            program.compute(6)

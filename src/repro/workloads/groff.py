@@ -1,0 +1,157 @@
+"""``groff`` — troff-family text formatter (C++).
+
+groff interleaves character-at-a-time input handling (stack + small
+globals), font-metric lookups (mid-size global tables; Table 3 shows 19
+objects of 8-32 KB carrying ~18% of references), and per-line heap node
+lists that are built, measured, and freed line by line.  The paper applies
+heap placement to groff and reports one of the larger same-input wins
+(44%) and ~19% cross-input.
+
+Synthetic structure: format a document paragraph by paragraph.  For every
+output line, allocate glyph/space nodes from per-node-type call sites
+(freed at line flush — clean XOR lifetimes), look up widths in the
+current font's metric table, track line geometry in hot small globals,
+and occasionally switch fonts (rotating the hot metric table, which is
+what makes placement matter across tables).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..vm.program import Program
+from .base import Workload, WorkloadInput, register
+
+_SITE_MAIN = 0x44000
+_SITE_PARAGRAPH = 0x44100
+_SITE_LINE = 0x44200
+_SITE_ALLOC_GLYPH = 0x44210
+_SITE_ALLOC_SPACE = 0x44220
+_SITE_FLUSH = 0x44300
+_SITE_HYPHEN = 0x44400
+
+_GLYPH_BYTES = 56
+_SPACE_BYTES = 32
+_NUM_FONTS = 4
+_FONT_TABLE_BYTES = 1536
+
+
+@register
+class Groff(Workload):
+    """Line-filling text formatter with per-line heap node lists."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="groff",
+            inputs={
+                "man-page": WorkloadInput("man-page", seed=7701, scale=1.0),
+                "memo": WorkloadInput("memo", seed=8807, scale=1.25),
+                "letter": WorkloadInput("letter", seed=9917, scale=0.75),
+            },
+            place_heap=True,
+        )
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        # Font metric tables are separated by their (cold) raw font
+        # files in declaration order; the spacing makes fonts 0/1 and 2/3
+        # alias in the cache, so font switches thrash under natural layout.
+        fonts = []
+        for i in range(_NUM_FONTS):
+            fonts.append(
+                program.add_global(f"font_metrics_{i}", _FONT_TABLE_BYTES)
+            )
+            program.add_global(f"font_file_{i}", 8192 - _FONT_TABLE_BYTES)
+        hyphen_patterns = program.add_constant("hyphen_patterns", 2048)
+        env_state = program.add_global("environment", 192)
+        macro_table = program.add_global("macro_table", 8000)  # cold spacer
+        line_geometry = program.add_global("line_geometry", 64)
+        device_params = program.add_global("device_params", 128)
+        page_offsets = program.add_global("page_offsets", 4096)
+        string_space = program.add_global("string_space", 8192)
+
+        program.start()
+        paragraphs = self.scaled(55, scale)
+
+        with program.function(_SITE_MAIN, frame_bytes=128):
+            font_index = 0
+            for para in range(paragraphs):
+                if rng.random() < 0.3:
+                    font_index = (font_index + 1) % _NUM_FONTS
+                with program.function(_SITE_PARAGRAPH, frame_bytes=96):
+                    lines = 3 + rng.randrange(4)
+                    for _line in range(lines):
+                        self._fill_line(
+                            program,
+                            rng,
+                            fonts[font_index],
+                            env_state,
+                            line_geometry,
+                            hyphen_patterns,
+                            string_space,
+                        )
+                    self._flush_page_state(
+                        program, para, device_params, page_offsets
+                    )
+
+    def _fill_line(
+        self,
+        program,
+        rng,
+        font,
+        env_state,
+        line_geometry,
+        hyphen_patterns,
+        string_space,
+    ) -> None:
+        """Build one output line's node list, measure it, free it."""
+        with program.function(_SITE_LINE, frame_bytes=112):
+            words = 6 + rng.randrange(6)
+            nodes = []
+            cursor = rng.randrange(0, 4096, 8)
+            for word in range(words):
+                glyphs = 3 + rng.randrange(6)
+                for glyph in range(glyphs):
+                    node = self.alloc_node(
+                        program, _SITE_ALLOC_GLYPH, _GLYPH_BYTES
+                    )
+                    char_code = rng.randrange(96)
+                    program.load(font, (char_code * 16) % _FONT_TABLE_BYTES)
+                    program.store(node, 0)
+                    program.store(node, 16)
+                    program.load(line_geometry, 0)
+                    program.store(line_geometry, 8)
+                    program.store_local(8)
+                    program.compute(5)
+                    nodes.append(node)
+                # Copy the word into the string area (sequential cursor)
+                # and update the environment's width accumulators, which
+                # alias line_geometry under the natural layout.
+                program.store(string_space, cursor % 8192)
+                cursor += 8 * glyphs
+                space = self.alloc_node(program, _SITE_ALLOC_SPACE, _SPACE_BYTES)
+                program.store(space, 0)
+                program.load(env_state, 8 * (word % 8))
+                program.store(env_state, 8 * (word % 8))
+                nodes.append(space)
+                if rng.random() < 0.12:
+                    self._hyphenate(program, hyphen_patterns, word)
+            # Measure and emit: walk the node list once more, then free.
+            for node in nodes:
+                program.load(node, 0)
+                program.compute(3)
+            for node in nodes:
+                program.free(node)
+
+    def _hyphenate(self, program, hyphen_patterns, word: int) -> None:
+        with program.function(_SITE_HYPHEN, frame_bytes=64):
+            for probe in range(4):
+                program.load(hyphen_patterns, ((word * 37 + probe * 11) * 8) % 2048)
+                program.load_local(8 * probe)
+            program.compute(6)
+
+    def _flush_page_state(self, program, para, device_params, page_offsets) -> None:
+        with program.function(_SITE_FLUSH, frame_bytes=80):
+            program.load(device_params, 0)
+            program.store(page_offsets, (para * 48) % 4096)
+            program.store_local(0)
+            program.compute(4)

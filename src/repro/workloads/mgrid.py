@@ -1,0 +1,110 @@
+"""``mgrid`` — SPEC95 107.mgrid, multigrid PDE solver.
+
+mgrid is the paper's designated hard case: a single array far larger than
+the cache receives essentially 100% of the data references (Table 3: one
+object >32 KB, (100,100)), so virtually all misses are *intra-object*
+capacity/conflict misses that inter-object placement cannot touch.  The
+paper measures a 0.13% reduction same-input and 0.00% cross-input and
+points at blocking/tiling as the appropriate (out-of-scope) remedy.
+Reproducing this non-result is as important as reproducing the wins: it
+pins the boundary of the technique.
+
+Synthetic structure: V-cycle stencil sweeps over a 256 KB grid at several
+resolutions, plus ~1200 tiny coefficient globals that are touched only
+once during setup (matching mgrid's Table 3 row of ~1166 objects of
+8-128 bytes with ~0% of references).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..vm.program import Program
+from .base import Workload, WorkloadInput, register
+
+_SITE_MAIN = 0x99000
+_SITE_SETUP = 0x99100
+_SITE_RELAX = 0x99200
+_SITE_RESTRICT = 0x99300
+
+_GRID_BYTES = 262144
+_ELEMENT = 8
+
+
+@register
+class Mgrid(Workload):
+    """One giant array with stencil sweeps: placement cannot help."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="mgrid",
+            inputs={
+                "grid-32": WorkloadInput("grid-32", seed=17001, scale=1.0),
+                "grid-48": WorkloadInput("grid-48", seed=18007, scale=1.2),
+                "grid-24": WorkloadInput("grid-24", seed=19117, scale=0.8),
+            },
+            place_heap=False,
+        )
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        grid = program.add_global("grid", _GRID_BYTES)
+        residual_norm = program.add_global("residual_norm", 8)
+        level_params = program.add_constant("level_params", 256)
+        coefficients = [
+            program.add_global(f"stencil_coef_{index}", 8) for index in range(1160)
+        ]
+
+        program.start()
+        cycles = self.scaled(2, scale)
+        sweep_points = self.scaled(3600, scale)
+
+        with program.function(_SITE_MAIN, frame_bytes=96):
+            self._setup(program, coefficients)
+            for _cycle in range(cycles):
+                for level in range(3):
+                    stride = _ELEMENT * (1 << level)
+                    self._relax(
+                        program, rng, grid, residual_norm, level_params,
+                        sweep_points >> level, stride,
+                    )
+                self._restrict(program, grid, sweep_points // 4)
+
+    def _setup(self, program, coefficients) -> None:
+        """Touch every tiny coefficient exactly once (setup only)."""
+        with program.function(_SITE_SETUP, frame_bytes=64):
+            for coeff in coefficients:
+                program.store(coeff, 0)
+            program.store_local(0)
+            program.compute(8)
+
+    def _relax(
+        self, program, rng, grid, residual_norm, level_params, points, stride
+    ) -> None:
+        """Red-black relaxation sweep: a 5-point stencil along the grid."""
+        with program.function(_SITE_RELAX, frame_bytes=128):
+            row_bytes = 256 * _ELEMENT
+            base = rng.randrange(0, 4) * row_bytes
+            program.load(level_params, (stride * 4) % 256)
+            for point in range(points):
+                center = (base + point * stride) % (_GRID_BYTES - row_bytes)
+                if center < row_bytes:
+                    center += row_bytes
+                program.load(grid, center - row_bytes)
+                program.load(grid, center - _ELEMENT)
+                program.load(grid, center)
+                program.load(grid, center + _ELEMENT)
+                program.load(grid, center + row_bytes - _ELEMENT)
+                program.store(grid, center)
+                program.compute(9)
+            program.store(residual_norm, 0)
+            program.load_local(8)
+
+    def _restrict(self, program, grid, points) -> None:
+        """Coarsening: strided gather into the low half of the grid."""
+        with program.function(_SITE_RESTRICT, frame_bytes=96):
+            half = _GRID_BYTES // 2
+            for point in range(points):
+                fine = (point * 2 * _ELEMENT) % half
+                program.load(grid, half + fine)
+                program.store(grid, fine)
+                program.compute(5)

@@ -1,0 +1,83 @@
+"""Shared fixtures: a small deterministic toy workload and cache configs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.vm.program import Program
+from repro.workloads.base import Workload, WorkloadInput
+
+
+class ToyWorkload(Workload):
+    """A small, fast workload exercising all four object categories.
+
+    Three mid-size globals are accessed in lockstep (a natural conflict
+    candidate), a cluster of small globals rotates, heap nodes churn from
+    two allocation sites (one concurrently live, one sequential), and a
+    constant table is read throughout.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="toy",
+            inputs={
+                "train": WorkloadInput("train", seed=101, scale=1.0),
+                "test": WorkloadInput("test", seed=202, scale=1.2),
+            },
+            place_heap=True,
+        )
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        table_a = program.add_global("table_a", 2048)
+        spacer = program.add_global("spacer", 6144)
+        table_b = program.add_global("table_b", 2048)
+        smalls = [program.add_global(f"small_{i}", 8) for i in range(6)]
+        lookup = program.add_constant("lookup", 256)
+        program.start()
+        iterations = self.scaled(600, scale)
+        with program.function(0x1000, frame_bytes=64):
+            persistent = []
+            for _ in range(10):
+                program.call(0x2000)
+                persistent.append(program.malloc(48))
+                program.ret()
+            for index in range(iterations):
+                offset = (index * 32) % 2048
+                program.load(table_a, offset)
+                program.store(table_b, offset)
+                program.load(smalls[index % 6], 0)
+                program.load(lookup, (index * 8) % 256)
+                program.load_local((index % 8) * 8)
+                node = persistent[index % 10]
+                program.load(node, 0)
+                if index % 7 == 0:
+                    program.call(0x3000)
+                    scratch = program.malloc(24)
+                    program.ret()
+                    program.store(scratch, 0)
+                    program.load(scratch, 8)
+                    program.free(scratch)
+                program.compute(4)
+            for node in persistent:
+                program.free(node)
+
+
+@pytest.fixture
+def toy_workload() -> ToyWorkload:
+    """A fresh toy workload instance."""
+    return ToyWorkload()
+
+
+@pytest.fixture
+def small_cache() -> CacheConfig:
+    """A small cache so toy traces produce meaningful conflict."""
+    return CacheConfig(size=1024, line_size=32, associativity=1)
+
+
+@pytest.fixture
+def paper_cache() -> CacheConfig:
+    """The paper's 8K direct-mapped, 32-byte-line cache."""
+    return CacheConfig(size=8192, line_size=32, associativity=1)

@@ -1,0 +1,179 @@
+"""Unit + property tests for chunk/line mapping and the conflict-cost scan."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.core.cache_struct import (
+    CacheImage,
+    active_chunks_by_entity,
+    build_adjacency,
+    chunk_line_span,
+    conflict_cost_scan,
+)
+from repro.profiling.profile_data import Entity, Profile
+from repro.trace.events import Category
+
+CONFIG = CacheConfig(1024, 32, 1)  # 32 lines
+
+
+class TestChunkLineSpan:
+    def test_full_chunk_spans_eight_lines(self):
+        span = chunk_line_span(0, 1024, 0, 256, CONFIG)
+        assert span == tuple(range(8))
+
+    def test_offset_shifts_lines(self):
+        span = chunk_line_span(64, 1024, 0, 256, CONFIG)
+        assert span[0] == 2
+
+    def test_wraps_modulo_cache(self):
+        span = chunk_line_span(1000, 512, 0, 256, CONFIG)
+        assert span[0] == 31
+        assert span[1] == 0
+
+    def test_small_object_single_line(self):
+        span = chunk_line_span(0, 8, 0, 256, CONFIG)
+        assert span == (0,)
+
+    def test_tail_chunk_truncated_by_size(self):
+        # object of 300 bytes: chunk 1 covers bytes 256..299 only.
+        span = chunk_line_span(0, 300, 1, 256, CONFIG)
+        assert span == (8, 9)
+
+    def test_unaligned_offset_straddles_lines(self):
+        span = chunk_line_span(30, 8, 0, 256, CONFIG)
+        assert span == (0, 1)
+
+
+class TestCacheImage:
+    def test_add_entity_maps_active_chunks(self):
+        image = CacheImage(CONFIG, 256)
+        image.add_entity(1, 512, 0, (0, 1))
+        assert (1, 0) in image.pairs
+        assert (1, 1) in image.pairs
+        assert image.lines_in_use() == set(range(16))
+
+
+class TestAdjacencyHelpers:
+    def _profile(self) -> Profile:
+        profile = Profile(chunk_size=256)
+        profile.entities[1] = Entity(1, Category.GLOBAL, "g:a", size=512)
+        profile.entities[2] = Entity(2, Category.GLOBAL, "g:b", size=512)
+        profile.trg = {((1, 0), (2, 0)): 10, ((1, 1), (2, 0)): 4}
+        return profile
+
+    def test_build_adjacency_indexes_both_endpoints(self):
+        adjacency = build_adjacency(self._profile())
+        assert ((2, 0), 10) in adjacency[(1, 0)]
+        assert ((1, 0), 10) in adjacency[(2, 0)]
+        assert len(adjacency[(2, 0)]) == 2
+
+    def test_active_chunks_include_chunk_zero(self):
+        profile = self._profile()
+        chunks = active_chunks_by_entity(profile)
+        assert chunks[1] == (0, 1)
+        assert chunks[2] == (0,)
+
+
+class TestConflictCostScan:
+    def test_finds_zero_conflict_offset(self):
+        # Fixed: entity 1 chunk 0 on lines 0-7.  Moving: entity 2 chunk 0
+        # (one line) with a heavy edge to the fixed pair.
+        fixed = {(1, 0): tuple(range(8))}
+        moving = {(2, 0): (0,)}
+        adjacency = {(2, 0): [((1, 0), 100)]}
+        start, cost = conflict_cost_scan(fixed, moving, adjacency, 32)
+        assert cost == 0
+        assert start not in range(8)
+
+    def test_reports_cost_when_unavoidable(self):
+        # Fixed occupies every line: no zero-cost start exists.
+        fixed = {(1, 0): tuple(range(32))}
+        moving = {(2, 0): (0,)}
+        adjacency = {(2, 0): [((1, 0), 3)]}
+        _start, cost = conflict_cost_scan(fixed, moving, adjacency, 32)
+        assert cost == 3
+
+    def test_prefers_preferred_start_on_ties(self):
+        fixed = {}
+        moving = {(2, 0): (0,)}
+        start, cost = conflict_cost_scan(fixed, moving, {}, 32, preferred_start=7)
+        assert start == 7 and cost == 0
+
+    def test_picks_cheapest_of_two_conflicts(self):
+        fixed = {(1, 0): (0,), (3, 0): (5,)}
+        moving = {(2, 0): (0,)}
+        adjacency = {(2, 0): [((1, 0), 10), ((3, 0), 2)]}
+        cost_at = {}
+        for start in range(32):
+            _s, c = conflict_cost_scan(
+                fixed, moving, adjacency, 32, preferred_start=start
+            )
+        start, cost = conflict_cost_scan(fixed, moving, adjacency, 32)
+        assert cost == 0  # 30 free lines exist
+
+    def test_scan_matches_brute_force(self):
+        fixed = {(1, 0): (0, 1, 2), (1, 1): (8, 9)}
+        moving = {(2, 0): (0, 1), (2, 1): (4,)}
+        adjacency = {
+            (2, 0): [((1, 0), 5)],
+            (2, 1): [((1, 1), 7)],
+        }
+        num_lines = 32
+        # Brute force: for each start, count co-resident weighted pairs.
+        def brute(start: int) -> int:
+            cost = 0
+            for mpair, mlines in moving.items():
+                for opair, weight in adjacency[mpair]:
+                    flines = fixed.get(opair, ())
+                    for ml in mlines:
+                        placed = (ml + start) % num_lines
+                        cost += weight * sum(1 for fl in flines if fl == placed)
+            return cost
+
+        best_start, best_cost = conflict_cost_scan(
+            fixed, moving, adjacency, num_lines
+        )
+        assert best_cost == min(brute(s) for s in range(num_lines))
+        assert brute(best_start) == best_cost
+
+
+@given(
+    st.dictionaries(
+        st.tuples(st.integers(1, 3), st.integers(0, 2)),
+        st.lists(st.integers(0, 31), min_size=1, max_size=4, unique=True).map(tuple),
+        min_size=1,
+        max_size=4,
+    ),
+    st.dictionaries(
+        st.tuples(st.just(9), st.integers(0, 3)),
+        st.lists(st.integers(0, 31), min_size=1, max_size=4, unique=True).map(tuple),
+        min_size=1,
+        max_size=3,
+    ),
+    st.integers(0, 31),
+)
+@settings(max_examples=50, deadline=None)
+def test_scan_equals_bruteforce_property(fixed, moving, preferred):
+    adjacency = {}
+    weight = 1
+    for mpair in moving:
+        adjacency[mpair] = [(fpair, weight) for fpair in fixed]
+        weight += 1
+
+    def brute(start: int) -> int:
+        cost = 0
+        for mpair, mlines in moving.items():
+            for opair, w in adjacency[mpair]:
+                flines = fixed.get(opair, ())
+                for ml in mlines:
+                    placed = (ml + start) % 32
+                    cost += w * sum(1 for fl in flines if fl == placed)
+        return cost
+
+    best_start, best_cost = conflict_cost_scan(
+        fixed, moving, adjacency, 32, preferred_start=preferred
+    )
+    assert best_cost == min(brute(s) for s in range(32))
+    assert brute(best_start) == best_cost

@@ -1,0 +1,84 @@
+"""Tests for the ASCII cache-occupancy renderer."""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.reporting.cachemap import (
+    MappedEntity,
+    conflict_row,
+    occupancy_rows,
+    render_cache_map,
+)
+
+CONFIG = CacheConfig(1024, 32, 1)  # 32 sets
+
+
+class TestOccupancyRows:
+    def test_entity_spans_its_lines(self):
+        rows = occupancy_rows(
+            [MappedEntity("table", cache_offset=64, size=96)], CONFIG
+        )
+        (label, row), = rows
+        assert "table" in label
+        assert row == ".." + "AAA" + "." * 27
+
+    def test_wraps_modulo_cache(self):
+        rows = occupancy_rows(
+            [MappedEntity("wrap", cache_offset=31 * 32, size=64)], CONFIG
+        )
+        (_label, row), = rows
+        assert row[31] == "A"
+        assert row[0] == "A"
+
+    def test_hottest_entity_gets_first_symbol(self):
+        rows = occupancy_rows(
+            [
+                MappedEntity("cold", 0, 32, weight=1),
+                MappedEntity("hot", 64, 32, weight=100),
+            ],
+            CONFIG,
+        )
+        assert rows[0][0].startswith("A hot")
+        assert rows[1][0].startswith("B cold")
+
+    def test_giant_entity_fills_everything(self):
+        rows = occupancy_rows([MappedEntity("giant", 0, 65536)], CONFIG)
+        (_label, row), = rows
+        assert row == "A" * 32
+
+
+class TestConflictRow:
+    def test_marks_overlap(self):
+        row = conflict_row(
+            [
+                MappedEntity("a", 0, 64),
+                MappedEntity("b", 32, 64),
+            ],
+            CONFIG,
+        )
+        assert row[0] == "-"
+        assert row[1] == "#"
+        assert row[2] == "-"
+        assert row[3] == "."
+
+    def test_no_entities(self):
+        assert conflict_row([], CONFIG) == "." * 32
+
+
+class TestRenderCacheMap:
+    def test_contains_labels_and_bands(self):
+        text = render_cache_map(
+            [MappedEntity("tbl", 0, 64, weight=3)], CONFIG, title="demo"
+        )
+        assert "demo" in text
+        assert "A tbl" in text
+        assert "conflicts" in text
+        assert "sets 0..31" in text
+
+    def test_wide_cache_wraps_into_bands(self):
+        config = CacheConfig(8192, 32, 1)  # 256 sets
+        text = render_cache_map(
+            [MappedEntity("x", 0, 32)], config, width=64
+        )
+        assert "sets 0..63" in text
+        assert "sets 192..255" in text

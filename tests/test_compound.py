@@ -1,0 +1,112 @@
+"""Unit tests for compound nodes and the Phase 6 merge (Figure 2)."""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.core.cache_struct import CacheImage
+from repro.core.compound import CompoundMerger, CompoundNode
+
+CONFIG = CacheConfig(1024, 32, 1)  # 32 lines
+
+
+def make_merger(
+    stack_const_pairs=None,
+    adjacency=None,
+    sizes=None,
+    active=None,
+) -> CompoundMerger:
+    image = CacheImage(CONFIG, 256)
+    if stack_const_pairs:
+        image.pairs.update(stack_const_pairs)
+    return CompoundMerger(
+        CONFIG,
+        256,
+        image,
+        adjacency or {},
+        sizes or {1: 256, 2: 256, 3: 256},
+        active or {1: (0,), 2: (0,), 3: (0,)},
+    )
+
+
+class TestAnchor:
+    def test_anchor_avoids_stack_const_conflict(self):
+        # Stack occupies lines 0-7; entity 1 has a heavy edge to it.
+        merger = make_merger(
+            stack_const_pairs={(0, 0): tuple(range(8))},
+            adjacency={(1, 0): [((0, 0), 50)], (0, 0): [((1, 0), 50)]},
+        )
+        node = CompoundNode(node_id=0, offsets={1: 0})
+        cost = merger.anchor(node)
+        assert cost == 0
+        assert node.anchored
+        line = (node.offsets[1] // 32) % 32
+        assert line not in range(8)
+
+    def test_anchor_without_edges_costs_nothing(self):
+        merger = make_merger()
+        node = CompoundNode(node_id=0, offsets={1: 0})
+        assert merger.anchor(node) == 0
+        assert merger.anchor_count == 1
+
+
+class TestMerge:
+    def test_merge_separates_conflicting_entities(self):
+        adjacency = {
+            (1, 0): [((2, 0), 100)],
+            (2, 0): [((1, 0), 100)],
+        }
+        merger = make_merger(adjacency=adjacency)
+        node1 = CompoundNode(node_id=0, offsets={1: 0})
+        node2 = CompoundNode(node_id=1, offsets={2: 0})
+        cost = merger.merge(node1, node2)
+        assert cost == 0
+        lines1 = set(range(node1.offsets[1] // 32, node1.offsets[1] // 32 + 8))
+        lines2_start = (node1.offsets[2] // 32) % 32
+        assert lines2_start % 32 not in {l % 32 for l in lines1}
+
+    def test_merge_absorbs_entities(self):
+        merger = make_merger()
+        node1 = CompoundNode(node_id=0, offsets={1: 0})
+        node2 = CompoundNode(node_id=1, offsets={2: 0, 3: 256})
+        merger.merge(node1, node2)
+        assert set(node1.offsets) == {1, 2, 3}
+        assert not node2.offsets
+        assert merger.merge_count == 1
+
+    def test_merge_preserves_node2_relative_layout(self):
+        merger = make_merger()
+        node1 = CompoundNode(node_id=0, offsets={1: 0})
+        node2 = CompoundNode(node_id=1, offsets={2: 0, 3: 256})
+        merger.merge(node1, node2)
+        assert node1.offsets[3] - node1.offsets[2] == 256
+
+    def test_merge_anchors_node1_first(self):
+        # node1 has a conflict with the fixed stack image; merging must
+        # first move node1 away from it.
+        merger = make_merger(
+            stack_const_pairs={(0, 0): (0,)},
+            adjacency={(1, 0): [((0, 0), 9)], (0, 0): [((1, 0), 9)]},
+        )
+        node1 = CompoundNode(node_id=0, offsets={1: 0})
+        node2 = CompoundNode(node_id=1, offsets={2: 0})
+        merger.merge(node1, node2)
+        assert node1.anchored
+        assert (node1.offsets[1] // 32) % 32 != 0
+
+    def test_merge_cost_counts_unavoidable_conflicts(self):
+        # Fixed image fills every line with an edge-heavy pair.
+        full = {(9, c): tuple(range(32)) for c in range(1)}
+        adjacency = {
+            (2, 0): [((9, 0), 4)],
+            (9, 0): [((2, 0), 4)],
+        }
+        merger = make_merger(stack_const_pairs=full, adjacency=adjacency)
+        node1 = CompoundNode(node_id=0, offsets={1: 0})
+        node2 = CompoundNode(node_id=1, offsets={2: 0})
+        cost = merger.merge(node1, node2)
+        assert cost == 4 * 8  # chunk of 256B covers 8 lines, all conflicting
+
+    def test_initial_scan_point_past_node_extent(self):
+        merger = make_merger(sizes={1: 128, 2: 256, 3: 256})
+        node = CompoundNode(node_id=0, offsets={1: 64})
+        assert merger._initial_scan_point(node) == 6  # (64+128)/32

@@ -1,0 +1,159 @@
+"""Tests for the experiment harnesses (on fast subsets of the suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    clear_cache,
+    paper_cache,
+    run_figure3,
+    run_geometry_sweep,
+    run_random_vs_natural,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+FAST = ["go", "mgrid"]
+FAST_HEAP = ("espresso",)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestPaperCache:
+    def test_geometry(self):
+        config = paper_cache()
+        assert config.size == 8192
+        assert config.line_size == 32
+        assert config.associativity == 1
+
+
+class TestTable1:
+    def test_rows_for_both_inputs(self):
+        result = run_table1(FAST)
+        assert len(result.rows) == 4
+        assert {row.program for row in result.rows} == set(FAST)
+
+    def test_percentages_consistent(self):
+        result = run_table1(FAST)
+        for row in result.rows:
+            split = row.pct_stack + row.pct_global + row.pct_heap + row.pct_const
+            assert split == pytest.approx(100.0, abs=0.1)
+            assert 0 < row.pct_loads + row.pct_stores < 100
+
+    def test_render_contains_programs(self):
+        text = run_table1(FAST).render()
+        assert "go" in text and "mgrid" in text
+
+
+class TestTables2And4:
+    def test_rows_and_average(self):
+        result = run_table2(FAST)
+        assert len(result.rows) == 2
+        average = result.average
+        assert average.program == "Average"
+        assert average.original.d_miss == pytest.approx(
+            sum(r.original.d_miss for r in result.rows) / 2
+        )
+
+    def test_category_columns_sum_to_dmiss(self):
+        result = run_table2(FAST)
+        for row in result.rows:
+            for rates in (row.original, row.ccdp):
+                total = rates.stack + rates.global_ + rates.heap + rates.const
+                assert total == pytest.approx(rates.d_miss, abs=0.01)
+
+    def test_table4_uses_other_input(self):
+        t2 = run_table2(FAST)
+        t4 = run_table4(FAST)
+        # Different inputs -> different baseline miss rates (almost surely).
+        assert t2.row_for("go").original.d_miss != pytest.approx(
+            t4.row_for("go").original.d_miss, abs=1e-9
+        )
+
+    def test_row_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            run_table2(FAST).row_for("nope")
+
+    def test_render(self):
+        text = run_table4(FAST).render()
+        assert "D-Miss" in text and "Average" in text
+
+
+class TestTable3:
+    def test_bucket_percentages(self):
+        result = run_table3(FAST)
+        for row in result.rows.values():
+            assert sum(row.pct_refs_per_bucket) == pytest.approx(100.0, abs=0.1)
+
+    def test_mgrid_dominated_by_giant_bucket(self):
+        result = run_table3(["mgrid"])
+        row = result.rows["mgrid"]
+        assert row.pct_refs_per_bucket[-1] > 90
+
+    def test_render(self):
+        assert "mgrid" in run_table3(["mgrid"]).render()
+
+
+class TestTable5:
+    def test_rows_have_paging_data(self):
+        result = run_table5(FAST_HEAP)
+        row = result.row_for("espresso")
+        assert row.original_pages > 0
+        assert row.ccdp_working_set > 0
+
+    def test_render(self):
+        assert "espresso" in run_table5(FAST_HEAP).render()
+
+
+class TestFigure3:
+    def test_scatter_points_exist(self):
+        result = run_figure3(FAST_HEAP)
+        points = result.points["espresso"]
+        assert len(points) > 100
+        shape = result.shapes["espresso"]
+        assert shape.num_objects == len(points)
+
+    def test_render(self):
+        assert "espresso" in run_figure3(FAST_HEAP).render()
+
+
+class TestRandomVsNatural:
+    def test_rows_and_mean(self):
+        result = run_random_vs_natural(FAST, seeds=(1, 2))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.natural_miss > 0
+            assert row.random_miss > 0
+
+    def test_render(self):
+        text = run_random_vs_natural(["mgrid"], seeds=(1,)).render()
+        assert "%Increase" in text
+
+
+class TestGeometrySweep:
+    def test_sweep_rows(self):
+        result = run_geometry_sweep(("go",))
+        rows = result.rows_for("go")
+        assert len(rows) == 5
+        evaluated = {row.evaluated_on for row in rows}
+        assert "8K/32B/direct" in evaluated
+        assert "8K/32B/4-way" in evaluated
+
+    def test_bigger_direct_cache_reduces_natural_misses(self):
+        result = run_geometry_sweep(("go",))
+        by_geometry = {row.evaluated_on: row for row in result.rows_for("go")}
+        assert (
+            by_geometry["16K/32B/direct"].natural_miss
+            <= by_geometry["4K/32B/direct"].natural_miss
+        )
+
+    def test_render(self):
+        assert "Target" in run_geometry_sweep(("go",)).render()

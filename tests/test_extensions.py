@@ -1,0 +1,101 @@
+"""Tests for the extension experiment harnesses (fast subsets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import clear_cache
+from repro.experiments.extensions import (
+    run_hierarchy_study,
+    run_overhead_report,
+    run_sampling_study,
+)
+from repro.cache.config import CacheConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestOverheadReport:
+    def test_mgrid_row(self):
+        report = run_overhead_report(["mgrid"])
+        row = report.row_for("mgrid")
+        assert row.overhead_instructions == 0
+        assert not row.heap_placed
+        assert row.pays_off
+
+    def test_render(self):
+        text = run_overhead_report(["mgrid", "go"]).render()
+        assert "PaysOff" in text and "mgrid" in text
+
+    def test_custom_penalty(self):
+        report = run_overhead_report(["go"], miss_penalty=5.0)
+        assert report.row_for("go").miss_penalty == 5.0
+
+
+class TestHierarchyStudy:
+    def test_l2_accesses_bounded_by_l1_misses(self):
+        result = run_hierarchy_study(("mgrid",))
+        row = result.row_for("mgrid")
+        for stats in (row.natural, row.ccdp):
+            assert stats.l2.accesses == stats.l1.misses
+
+    def test_mgrid_unchanged_at_both_levels(self):
+        result = run_hierarchy_study(("mgrid",))
+        row = result.row_for("mgrid")
+        assert row.ccdp.l1_miss_rate == pytest.approx(
+            row.natural.l1_miss_rate, abs=0.05
+        )
+
+    def test_render(self):
+        assert "AMAT" in run_hierarchy_study(("mgrid",)).render()
+
+
+class TestSamplingStudy:
+    def test_rows_cover_patterns(self):
+        result = run_sampling_study(
+            "go", patterns=((1000, 1000), (100, 1000))
+        )
+        assert [row.sampled_fraction for row in result.rows] == [1.0, 0.1]
+
+    def test_sampled_retains_most_of_win(self):
+        result = run_sampling_study(
+            "go", patterns=((1000, 1000), (200, 1000))
+        )
+        exhaustive, sampled = result.rows
+        assert sampled.pct_reduction > exhaustive.pct_reduction - 20
+
+    def test_render(self):
+        text = run_sampling_study("go", patterns=((500, 1000),)).render()
+        assert "Time-sampled" in text
+
+
+class TestHeapDiscipline:
+    def test_three_disciplines_measured(self):
+        from repro.experiments.ablations import sweep_heap_discipline
+
+        result = sweep_heap_discipline("espresso")
+        assert [row.discipline for row in result.rows] == [
+            "natural", "ccdp", "ccdp-compact",
+        ]
+
+    def test_compact_heap_restores_page_compactness(self):
+        from repro.experiments.ablations import sweep_heap_discipline
+
+        result = sweep_heap_discipline("espresso")
+        natural = result.row_for("natural")
+        ccdp = result.row_for("ccdp")
+        compact = result.row_for("ccdp-compact")
+        # The compact variant never uses more pages than full CCDP and
+        # keeps the cache win.
+        assert compact.total_pages <= ccdp.total_pages
+        assert compact.miss_rate < natural.miss_rate
+
+    def test_render(self):
+        from repro.experiments.ablations import sweep_heap_discipline
+
+        text = sweep_heap_discipline("gcc").render()
+        assert "ccdp-compact" in text

@@ -1,0 +1,149 @@
+"""Unit tests for Phase 7 final global ordering."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.global_order import LayoutAtom, order_globals
+
+CACHE = 1024
+
+
+def layout_of(atoms, unpopular=(), popularity=None, affinity=None, sizes=None):
+    entity_sizes = dict(sizes or {})
+    for atom in atoms:
+        for eid in atom.members:
+            entity_sizes.setdefault(eid, atom.size)
+    for eid, size, _refs in unpopular:
+        entity_sizes.setdefault(eid, size)
+    return order_globals(
+        list(atoms),
+        list(unpopular),
+        popularity or {},
+        affinity or {},
+        CACHE,
+        entity_sizes,
+    )
+
+
+class TestSeeding:
+    def test_most_popular_atom_starts_segment(self):
+        atoms = [
+            LayoutAtom(members={1: 0}, preferred_offset=128, size=64),
+            LayoutAtom(members={2: 0}, preferred_offset=512, size=64),
+        ]
+        layout = layout_of(atoms, popularity={1: 5, 2: 50})
+        assert layout.offsets[2] == 0
+        assert layout.base_cache_offset == 512
+
+    def test_empty_input(self):
+        layout = layout_of([])
+        assert layout.offsets == {}
+        assert layout.total_size == 0
+
+
+class TestPreferredOffsets:
+    def test_adjacent_preferred_offsets_realized(self):
+        # Atom 2's preferred offset is exactly where atom 1 ends.
+        atoms = [
+            LayoutAtom(members={1: 0}, preferred_offset=0, size=64),
+            LayoutAtom(members={2: 0}, preferred_offset=64, size=64),
+        ]
+        layout = layout_of(atoms, popularity={1: 10, 2: 5})
+        assert layout.offsets[1] == 0
+        assert layout.offsets[2] == 64
+        assert layout.padding_bytes == 0
+
+    def test_every_popular_atom_hits_preferred_cache_offset(self):
+        atoms = [
+            LayoutAtom(members={1: 0}, preferred_offset=0, size=96),
+            LayoutAtom(members={2: 0}, preferred_offset=256, size=64),
+            LayoutAtom(members={3: 0}, preferred_offset=800, size=32),
+        ]
+        layout = layout_of(atoms, popularity={1: 10, 2: 5, 3: 2})
+        for eid, atom in ((1, atoms[0]), (2, atoms[1]), (3, atoms[2])):
+            realized = (layout.base_cache_offset + layout.offsets[eid]) % CACHE
+            assert realized == atom.preferred_offset
+
+    def test_gap_filled_with_unpopular(self):
+        atoms = [
+            LayoutAtom(members={1: 0}, preferred_offset=0, size=64),
+            LayoutAtom(members={2: 0}, preferred_offset=512, size=64),
+        ]
+        unpopular = [(10, 200, 5), (11, 100, 9)]
+        layout = layout_of(atoms, unpopular, popularity={1: 10, 2: 5})
+        # Both fillers fit in the 448-byte gap between the atoms.
+        assert 64 <= layout.offsets[10] < 512
+        assert 64 <= layout.offsets[11] < 512
+        assert layout.offsets[2] == 512
+
+    def test_gap_remainder_becomes_padding(self):
+        atoms = [
+            LayoutAtom(members={1: 0}, preferred_offset=0, size=64),
+            LayoutAtom(members={2: 0}, preferred_offset=512, size=64),
+        ]
+        layout = layout_of(atoms, popularity={1: 10, 2: 5})
+        assert layout.padding_bytes == 448
+
+    def test_adjacency_tie_broken_by_affinity(self):
+        atoms = [
+            LayoutAtom(members={1: 0}, preferred_offset=0, size=64),
+            LayoutAtom(members={2: 0}, preferred_offset=64, size=64),
+            LayoutAtom(members={3: 0}, preferred_offset=64, size=64),
+        ]
+        affinity = {(1, 3): 100, (1, 2): 1}
+        layout = layout_of(atoms, popularity={1: 10, 2: 5, 3: 5}, affinity=affinity)
+        assert layout.offsets[3] == 64  # higher affinity with previous
+
+
+class TestUnpopularPlacement:
+    def test_leftover_unpopular_by_refcount(self):
+        unpopular = [(10, 64, 1), (11, 64, 100), (12, 64, 10)]
+        layout = layout_of([], unpopular)
+        assert layout.offsets[11] < layout.offsets[12] < layout.offsets[10]
+
+    def test_packed_group_members_keep_relative_offsets(self):
+        atoms = [
+            LayoutAtom(members={1: 0, 2: 8, 3: 16}, preferred_offset=96, size=24)
+        ]
+        layout = layout_of(atoms, sizes={1: 8, 2: 8, 3: 8})
+        assert layout.offsets[2] - layout.offsets[1] == 8
+        assert layout.offsets[3] - layout.offsets[1] == 16
+
+
+atoms_strategy = st.lists(
+    st.tuples(st.integers(0, CACHE - 8), st.integers(8, 256)),
+    min_size=0,
+    max_size=6,
+).map(
+    lambda specs: [
+        LayoutAtom(members={i + 1: 0}, preferred_offset=pref - pref % 8, size=size)
+        for i, (pref, size) in enumerate(specs)
+    ]
+)
+
+unpopular_strategy = st.lists(
+    st.tuples(st.integers(8, 256), st.integers(0, 1000)),
+    min_size=0,
+    max_size=8,
+).map(
+    lambda specs: [
+        (100 + i, size, refs) for i, (size, refs) in enumerate(specs)
+    ]
+)
+
+
+@given(atoms_strategy, unpopular_strategy)
+@settings(max_examples=80, deadline=None)
+def test_layout_never_overlaps_and_places_everything(atoms, unpopular):
+    layout = layout_of(atoms, unpopular)
+    sizes = {}
+    for atom in atoms:
+        for eid in atom.members:
+            sizes[eid] = atom.size
+    for eid, size, _refs in unpopular:
+        sizes[eid] = size
+    assert set(layout.offsets) == set(sizes)
+    spans = sorted((off, off + sizes[eid]) for eid, off in layout.offsets.items())
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2, f"overlap at {s2}"

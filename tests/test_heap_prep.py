@@ -1,0 +1,111 @@
+"""Unit tests for Phase 1 heap preprocessing (bins + demotion)."""
+
+from __future__ import annotations
+
+from repro.core.heap_prep import preprocess_heap_objects
+from repro.profiling.profile_data import Entity, Profile
+from repro.trace.events import Category
+
+
+def heap_entity(eid, name, allocs=3, collided=False, size=32) -> Entity:
+    return Entity(
+        eid=eid,
+        category=Category.HEAP,
+        key=f"h:{name:x}",
+        size=size,
+        heap_name=name,
+        alloc_count=allocs,
+        collided=collided,
+    )
+
+
+def make_profile(entities, adjacency=None, trg=None) -> Profile:
+    profile = Profile(chunk_size=256)
+    for entity in entities:
+        profile.entities[entity.eid] = entity
+    profile.alloc_adjacency = adjacency or {}
+    profile.trg = trg or {}
+    return profile
+
+
+class TestBinning:
+    def test_allocation_adjacency_groups_names(self):
+        profile = make_profile(
+            [heap_entity(1, 0xA), heap_entity(2, 0xB), heap_entity(3, 0xC)],
+            adjacency={(0xA, 0xB): 5},
+        )
+        result = preprocess_heap_objects(profile, set())
+        assert result.bin_of_name[0xA] == result.bin_of_name[0xB]
+        # 0xC allocated 3 times -> still gets its own bin.
+        assert result.bin_of_name[0xC] != result.bin_of_name[0xA]
+
+    def test_trg_affinity_groups_names(self):
+        profile = make_profile(
+            [heap_entity(1, 0xA), heap_entity(2, 0xB)],
+            trg={((1, 0), (2, 0)): 9},
+        )
+        result = preprocess_heap_objects(profile, set())
+        assert result.bin_of_name[0xA] == result.bin_of_name[0xB]
+
+    def test_below_threshold_not_grouped(self):
+        profile = make_profile(
+            [heap_entity(1, 0xA), heap_entity(2, 0xB)],
+            adjacency={(0xA, 0xB): 1},
+        )
+        result = preprocess_heap_objects(profile, set(), locality_threshold=2)
+        assert result.bin_of_name[0xA] != result.bin_of_name[0xB]
+
+    def test_single_allocation_singletons_stay_default(self):
+        profile = make_profile([heap_entity(1, 0xA, allocs=1)])
+        result = preprocess_heap_objects(profile, set())
+        assert 0xA not in result.bin_of_name
+        assert result.bin_count == 0
+
+    def test_bin_cap_respected(self):
+        entities = [heap_entity(i, 0x100 + i) for i in range(30)]
+        profile = make_profile(entities)
+        result = preprocess_heap_objects(profile, set(), max_bins=4)
+        assert result.bin_count <= 4
+        assert all(tag < 4 for tag in result.bin_of_name.values())
+
+    def test_biggest_groups_win_limited_bins(self):
+        hot = heap_entity(1, 0xA, allocs=100)
+        cold = heap_entity(2, 0xB, allocs=2)
+        profile = make_profile([hot, cold])
+        result = preprocess_heap_objects(profile, set(), max_bins=1)
+        assert result.bin_of_name.get(0xA) == 0
+        assert 0xB not in result.bin_of_name
+
+
+class TestDemotion:
+    def test_collided_names_demoted_from_popular(self):
+        collided = heap_entity(1, 0xA, collided=True)
+        clean = heap_entity(2, 0xB)
+        profile = make_profile([collided, clean])
+        popular = {1, 2}
+        result = preprocess_heap_objects(profile, popular)
+        assert 1 not in popular
+        assert 1 in result.demoted_entities
+        assert result.placeable_heap_entities == [2]
+
+    def test_collided_names_keep_bin_tags(self):
+        collided_a = heap_entity(1, 0xA, collided=True)
+        collided_b = heap_entity(2, 0xB, collided=True)
+        profile = make_profile(
+            [collided_a, collided_b], adjacency={(0xA, 0xB): 5}
+        )
+        result = preprocess_heap_objects(profile, {1, 2})
+        assert 0xA in result.bin_of_name
+        assert 0xB in result.bin_of_name
+
+    def test_unpopular_unique_names_not_placeable(self):
+        entity = heap_entity(1, 0xA)
+        profile = make_profile([entity])
+        result = preprocess_heap_objects(profile, set())
+        assert result.placeable_heap_entities == []
+
+    def test_no_heap_entities(self):
+        profile = make_profile([])
+        result = preprocess_heap_objects(profile, set())
+        assert result.bin_count == 0
+        assert not result.bin_of_name

@@ -1,0 +1,190 @@
+"""Unit + property tests for the first-fit and temporal-fit allocators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.allocators import (
+    BinnedHeap,
+    FirstFitAllocator,
+    TemporalFitAllocator,
+)
+from repro.memory.freelist import HeapError
+
+
+class TestFirstFit:
+    def test_allocations_are_disjoint(self):
+        heap = FirstFitAllocator(base=0)
+        addrs = [heap.allocate(24) for _ in range(10)]
+        spans = sorted((a, a + 24) for a in addrs)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_reuses_lowest_address_first(self):
+        heap = FirstFitAllocator(base=0)
+        a = heap.allocate(32)
+        b = heap.allocate(32)
+        heap.allocate(32)
+        heap.free(a)
+        heap.free(b)
+        # First fit takes the lowest free address.
+        assert heap.allocate(16) == a
+
+    def test_splits_free_blocks(self):
+        heap = FirstFitAllocator(base=0)
+        a = heap.allocate(64)
+        heap.allocate(8)
+        heap.free(a)
+        small = heap.allocate(8)
+        assert small == a  # reuses the head of the freed block
+        rest = heap.allocate(32)
+        assert rest == a + 8
+
+    def test_rejects_non_positive_sizes(self):
+        heap = FirstFitAllocator(base=0)
+        with pytest.raises(HeapError):
+            heap.allocate(0)
+
+    def test_double_free_rejected(self):
+        heap = FirstFitAllocator(base=0)
+        a = heap.allocate(16)
+        heap.free(a)
+        with pytest.raises(HeapError):
+            heap.free(a)
+
+    def test_alignment(self):
+        heap = FirstFitAllocator(base=0)
+        heap.allocate(5)
+        b = heap.allocate(5)
+        assert b % 8 == 0
+
+
+class TestTemporalFit:
+    def test_prefers_most_recently_touched_chunk(self):
+        heap = TemporalFitAllocator(base=0, cache_size=1024)
+        a = heap.allocate(32)
+        heap.allocate(32)  # stays live, separating the two free chunks
+        c = heap.allocate(32)
+        heap.allocate(32)  # stays live, keeps c's chunk from the wilderness
+        heap.free(a)   # freed earlier (older touch)
+        heap.free(c)   # freed later (newer touch)
+        # Temporal fit picks c's chunk (most recently touched), where
+        # first-fit would have picked a.
+        assert heap.allocate(16) == c
+
+    def test_preferred_offset_honoured_from_fresh_memory(self):
+        heap = TemporalFitAllocator(base=0, cache_size=1024)
+        addr = heap.allocate(64, preferred_offset=256)
+        assert addr % 1024 == 256
+
+    def test_preferred_offset_honoured_within_free_chunk(self):
+        heap = TemporalFitAllocator(base=0, cache_size=1024)
+        big = heap.allocate(2048)
+        heap.free(big)
+        addr = heap.allocate(64, preferred_offset=512)
+        assert addr % 1024 == 512
+        assert big <= addr < big + 2048
+
+    def test_preferred_offset_wraps_modulo_cache(self):
+        heap = TemporalFitAllocator(base=0, cache_size=1024)
+        addr = heap.allocate(16, preferred_offset=1024 + 96)
+        assert addr % 1024 == 96
+
+    def test_falls_back_when_no_chunk_fits(self):
+        heap = TemporalFitAllocator(base=0, cache_size=1024)
+        a = heap.allocate(16)
+        heap.allocate(16)
+        heap.free(a)
+        # 16-byte hole cannot host 64 bytes; must extend the arena.
+        addr = heap.allocate(64)
+        assert addr >= a + 16
+
+    def test_invalid_cache_size_rejected(self):
+        with pytest.raises(HeapError):
+            TemporalFitAllocator(base=0, cache_size=0)
+
+
+class TestBinnedHeap:
+    def test_bins_are_spatially_separated(self):
+        heap = BinnedHeap(cache_size=8192, base=0x1000000)
+        a = heap.allocate(64, tag=0)
+        b = heap.allocate(64, tag=1)
+        default = heap.allocate(64, tag=None)
+        assert abs(a - b) >= 0x100000
+        assert abs(a - default) >= 0x100000
+
+    def test_same_tag_allocates_nearby(self):
+        heap = BinnedHeap(cache_size=8192)
+        a = heap.allocate(64, tag=3)
+        b = heap.allocate(64, tag=3)
+        assert abs(b - a) < 4096
+
+    def test_free_routes_to_owning_bin(self):
+        heap = BinnedHeap(cache_size=8192)
+        a = heap.allocate(64, tag=0)
+        b = heap.allocate(64, tag=1)
+        heap.free(a)
+        heap.free(b)
+        heap.check_invariants()
+
+    def test_free_unknown_address_rejected(self):
+        heap = BinnedHeap(cache_size=8192)
+        with pytest.raises(HeapError):
+            heap.free(0xDEAD)
+
+    def test_preferred_offset_with_tag(self):
+        heap = BinnedHeap(cache_size=8192)
+        addr = heap.allocate(128, tag=2, preferred_offset=4096)
+        assert addr % 8192 == 4096
+
+    def test_bins_in_use(self):
+        heap = BinnedHeap(cache_size=8192)
+        heap.allocate(8, tag=None)
+        heap.allocate(8, tag=5)
+        assert set(heap.bins_in_use()) == {None, 5}
+
+
+# -- property-based workouts --------------------------------------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 512)),
+        st.tuples(st.just("free"), st.integers(0, 30)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_first_fit_never_overlaps_and_keeps_invariants(op_list):
+    heap = FirstFitAllocator(base=0)
+    live: list[tuple[int, int]] = []
+    for op, value in op_list:
+        if op == "alloc":
+            addr = heap.allocate(value)
+            live.append((addr, value))
+        elif live:
+            addr, _size = live.pop(value % len(live))
+            heap.free(addr)
+        heap.arena.check_invariants()
+    spans = sorted(live)
+    for (a1, s1), (a2, _s2) in zip(spans, spans[1:]):
+        assert a1 + s1 <= a2
+
+
+@given(ops, st.integers(0, 8191))
+@settings(max_examples=60, deadline=None)
+def test_temporal_fit_respects_preferred_offsets(op_list, offset):
+    heap = TemporalFitAllocator(base=0x2000000, cache_size=8192)
+    live: list[int] = []
+    for op, value in op_list:
+        if op == "alloc":
+            addr = heap.allocate(value, preferred_offset=offset)
+            assert addr % 8192 == offset % 8192
+            live.append(addr)
+        elif live:
+            heap.free(live.pop(value % len(live)))
+        heap.arena.check_invariants()

@@ -1,0 +1,109 @@
+"""Unit and property tests for the XOR heap-naming scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.naming.xor import DEFAULT_NAME_DEPTH, NameUniverse, xor_fold
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=0, max_size=12
+).map(tuple)
+
+
+class TestXorFold:
+    def test_default_depth_is_four(self):
+        assert DEFAULT_NAME_DEPTH == 4
+
+    def test_folds_only_depth_addresses(self):
+        assert xor_fold((1, 2, 4, 8, 16), depth=4) == 1 ^ 2 ^ 4 ^ 8
+
+    def test_empty_stack_folds_to_zero(self):
+        assert xor_fold(()) == 0
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            xor_fold((1,), depth=0)
+
+    @given(addresses)
+    def test_deterministic(self, addrs):
+        assert xor_fold(addrs) == xor_fold(addrs)
+
+    @given(addresses)
+    def test_depth_one_is_call_site(self, addrs):
+        if addrs:
+            assert xor_fold(addrs, depth=1) == addrs[0]
+
+    @given(addresses, st.integers(min_value=1, max_value=8))
+    def test_fold_is_xor_of_prefix(self, addrs, depth):
+        expected = 0
+        for address in addrs[:depth]:
+            expected ^= address
+        assert xor_fold(addrs, depth) == expected
+
+    def test_shallow_names_collide_where_deep_names_differ(self):
+        # Same immediate call site, different callers: depth 1 collides,
+        # depth 2 distinguishes (the Seidl & Zorn motivation for depth>1).
+        site_a = (0x100, 0x200)
+        site_b = (0x100, 0x300)
+        assert xor_fold(site_a, 1) == xor_fold(site_b, 1)
+        assert xor_fold(site_a, 2) != xor_fold(site_b, 2)
+
+
+class TestNameUniverse:
+    def test_sequential_lifetimes_do_not_collide(self):
+        universe = NameUniverse()
+        for obj_id in range(5):
+            name = universe.observe_alloc(obj_id, 32, (0xA, 0xB))
+            universe.observe_free(obj_id)
+        assert not universe.records[name].collided
+        assert universe.unique_names() == [name]
+
+    def test_concurrent_lifetimes_collide(self):
+        universe = NameUniverse()
+        name = universe.observe_alloc(1, 32, (0xA,))
+        universe.observe_alloc(2, 32, (0xA,))
+        assert universe.records[name].collided
+        assert universe.collided_names() == [name]
+
+    def test_collision_is_sticky(self):
+        universe = NameUniverse()
+        name = universe.observe_alloc(1, 32, (0xA,))
+        universe.observe_alloc(2, 32, (0xA,))
+        universe.observe_free(1)
+        universe.observe_free(2)
+        universe.observe_alloc(3, 32, (0xA,))
+        assert universe.records[name].collided
+
+    def test_distinct_sites_get_distinct_records(self):
+        universe = NameUniverse()
+        name_a = universe.observe_alloc(1, 32, (0xA,))
+        name_b = universe.observe_alloc(2, 32, (0xB,))
+        assert name_a != name_b
+        assert len(universe.records) == 2
+
+    def test_size_statistics(self):
+        universe = NameUniverse()
+        universe.observe_alloc(1, 32, (0xA,))
+        universe.observe_free(1)
+        name = universe.observe_alloc(2, 96, (0xA,))
+        record = universe.records[name]
+        assert record.max_size == 96
+        assert record.avg_size == pytest.approx(64.0)
+        assert record.allocation_count == 2
+
+    def test_free_of_unknown_object_is_ignored(self):
+        universe = NameUniverse()
+        universe.observe_free(123)  # must not raise
+
+    def test_name_of(self):
+        universe = NameUniverse()
+        name = universe.observe_alloc(7, 8, (0x1, 0x2))
+        assert universe.name_of(7) == name
+        assert universe.name_of(99) is None
+
+    def test_depth_respected(self):
+        deep = NameUniverse(depth=2)
+        name = deep.observe_alloc(1, 8, (0x1, 0x2, 0x4))
+        assert name == 0x1 ^ 0x2

@@ -1,0 +1,62 @@
+"""Unit tests for the placement map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.placement_map import HeapDecision, PlacementMap
+
+
+@pytest.fixture
+def placement() -> PlacementMap:
+    pm = PlacementMap(cache_config=CacheConfig(1024, 32, 1))
+    pm.data_base = 0x1000
+    pm.global_offsets = {"a": 0, "b": 128}
+    pm.heap_table = {0xBEEF: HeapDecision(bin_tag=1, preferred_offset=96)}
+    return pm
+
+
+class TestLookups:
+    def test_global_address(self, placement):
+        assert placement.global_address("b") == 0x1000 + 128
+        assert placement.global_address("missing") is None
+
+    def test_global_cache_offset(self, placement):
+        assert placement.global_cache_offset("a") == 0x1000 % 1024
+        assert placement.global_cache_offset("missing") is None
+
+    def test_heap_decision(self, placement):
+        decision = placement.heap_decision(0xBEEF)
+        assert decision.bin_tag == 1
+        assert decision.preferred_offset == 96
+        assert placement.heap_decision(0xDEAD) is None
+
+
+class TestValidate:
+    def test_clean_layout_passes(self, placement):
+        placement.validate({"a": 128, "b": 64})
+
+    def test_overlap_detected(self, placement):
+        with pytest.raises(ValueError, match="overlap"):
+            placement.validate({"a": 192, "b": 64})
+
+    def test_missing_global_detected(self, placement):
+        with pytest.raises(ValueError, match="missing"):
+            placement.validate({"a": 64, "b": 64, "c": 8})
+
+    def test_unknown_placed_global_detected(self, placement):
+        with pytest.raises(ValueError, match="unknown"):
+            placement.validate({"a": 64})
+
+
+class TestHeapDecision:
+    def test_frozen(self):
+        decision = HeapDecision(bin_tag=1, preferred_offset=2)
+        with pytest.raises(AttributeError):
+            decision.bin_tag = 3
+
+    def test_defaults(self):
+        decision = HeapDecision()
+        assert decision.bin_tag is None
+        assert decision.preferred_offset is None

@@ -1,0 +1,197 @@
+"""Unit tests for the profiler sink (Name profile + entities + TRG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.profiling.profile_data import STACK_ENTITY_ID
+from repro.profiling.profiler import ProfilerSink
+from repro.trace.events import Category, ObjectInfo, STACK_OBJECT_ID
+from repro.vm.program import Program
+
+
+def profile_of(body) -> "Profile":
+    sink = ProfilerSink(cache_config=CacheConfig(1024, 32, 1))
+    program = Program(sink)
+    body(program)
+    program.finish()
+    return sink.profile
+
+
+class TestEntities:
+    def test_stack_entity_exists(self):
+        profile = profile_of(lambda p: p.start())
+        stack = profile.entities[STACK_ENTITY_ID]
+        assert stack.category is Category.STACK
+        assert stack.key == "stack"
+
+    def test_global_and_const_keys(self):
+        def body(p):
+            p.add_global("counts", 64)
+            p.add_constant("table", 32)
+            p.start()
+
+        profile = profile_of(body)
+        assert profile.entity_by_key("g:counts") is not None
+        assert profile.entity_by_key("c:table") is not None
+
+    def test_heap_entities_merge_by_xor_name(self):
+        def body(p):
+            p.start()
+            p.call(0xAA)
+            first = p.malloc(32)
+            p.free(first)
+            second = p.malloc(48)
+            p.free(second)
+            p.ret()
+
+        profile = profile_of(body)
+        heap_entities = profile.entities_of(Category.HEAP)
+        assert len(heap_entities) == 1
+        entity = heap_entities[0]
+        assert entity.alloc_count == 2
+        assert entity.size == 48  # max of the two
+        assert not entity.collided
+
+    def test_concurrent_same_name_marks_collision(self):
+        def body(p):
+            p.start()
+            p.call(0xAA)
+            first = p.malloc(32)
+            second = p.malloc(32)
+            p.free(first)
+            p.free(second)
+            p.ret()
+
+        profile = profile_of(body)
+        entity = profile.entities_of(Category.HEAP)[0]
+        assert entity.collided
+
+    def test_distinct_sites_make_distinct_entities(self):
+        def body(p):
+            p.start()
+            p.call(0xAA)
+            a = p.malloc(8)
+            p.ret()
+            p.call(0xBB)
+            b = p.malloc(8)
+            p.ret()
+            p.free(a)
+            p.free(b)
+
+        profile = profile_of(body)
+        assert len(profile.entities_of(Category.HEAP)) == 2
+
+
+class TestNameProfile:
+    def test_reference_counts(self):
+        def body(p):
+            g = p.add_global("g", 64)
+            p.start()
+            for _ in range(5):
+                p.load(g, 0)
+
+        profile = profile_of(body)
+        assert profile.entity_by_key("g:g").refs == 5
+        assert profile.total_accesses == 5
+
+    def test_lifetime_spans_accesses(self):
+        def body(p):
+            g = p.add_global("g", 64)
+            h = p.add_global("h", 64)
+            p.start()
+            p.load(g, 0)       # t=1
+            p.load(h, 0)       # t=2
+            p.load(h, 0)       # t=3
+            p.load(g, 0)       # t=4
+
+        profile = profile_of(body)
+        assert profile.entity_by_key("g:g").lifetime == 3
+        assert profile.entity_by_key("g:h").lifetime == 1
+
+    def test_stack_size_tracks_max_depth(self):
+        def body(p):
+            p.start()
+            p.push_frame(128)
+            p.push_frame(64)
+            p.store_local(0)
+            p.pop_frame()
+            p.pop_frame()
+
+        profile = profile_of(body)
+        assert profile.entities[STACK_ENTITY_ID].size >= 192
+
+    def test_alloc_adjacency_recorded(self):
+        def body(p):
+            p.start()
+            for _ in range(3):
+                p.call(0xAA)
+                a = p.malloc(8)
+                p.ret()
+                p.call(0xBB)
+                b = p.malloc(8)
+                p.ret()
+                p.free(a)
+                p.free(b)
+
+        profile = profile_of(body)
+        assert len(profile.alloc_adjacency) == 1
+        ((pair, count),) = profile.alloc_adjacency.items()
+        assert count == 5  # A B A B A B -> 5 adjacent cross pairs
+
+
+class TestPopularity:
+    def test_popularity_sums_incident_edges(self):
+        def body(p):
+            a = p.add_global("a", 32)
+            b = p.add_global("b", 32)
+            p.start()
+            for _ in range(10):
+                p.load(a, 0)
+                p.load(b, 0)
+
+        profile = profile_of(body)
+        popularity = profile.popularity()
+        eid_a = profile.entity_by_key("g:a").eid
+        eid_b = profile.entity_by_key("g:b").eid
+        assert popularity[eid_a] == popularity[eid_b] > 0
+
+    def test_untouched_entity_has_zero_popularity(self):
+        def body(p):
+            p.add_global("cold", 32)
+            p.start()
+
+        profile = profile_of(body)
+        eid = profile.entity_by_key("g:cold").eid
+        assert profile.popularity()[eid] == 0
+
+
+class TestChunking:
+    def test_accesses_map_to_chunks(self):
+        def body(p):
+            g = p.add_global("g", 1024)
+            h = p.add_global("h", 8)
+            p.start()
+            for _ in range(4):
+                p.load(g, 0)       # chunk 0
+                p.load(g, 512)     # chunk 2
+                p.load(h, 0)
+
+        profile = profile_of(body)
+        eid_g = profile.entity_by_key("g:g").eid
+        chunks = {
+            pair[1]
+            for edge in profile.trg
+            for pair in edge
+            if pair[0] == eid_g
+        }
+        assert chunks == {0, 2}
+
+    def test_queue_threshold_defaults_to_twice_cache(self):
+        sink = ProfilerSink(cache_config=CacheConfig(1024, 32, 1))
+        assert sink.profile.queue_threshold == 2048
+
+    def test_name_depth_recorded(self):
+        sink = ProfilerSink(name_depth=3)
+        assert sink.profile.name_depth == 3

@@ -1,0 +1,69 @@
+"""Public-API integrity: every ``__all__`` name must resolve.
+
+Guards the re-export layers (package ``__init__`` modules) against
+drift: a renamed class or a forgotten export fails here rather than in
+a user's import.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.cache",
+    "repro.core",
+    "repro.experiments",
+    "repro.memory",
+    "repro.naming",
+    "repro.profiling",
+    "repro.reporting",
+    "repro.runtime",
+    "repro.trace",
+    "repro.vm",
+    "repro.workloads",
+)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{package} must declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    exported = list(getattr(module, "__all__", []))
+    assert len(exported) == len(set(exported)), f"duplicates in {package}"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_baselines_reexports_resolvers():
+    from repro.baselines import NaturalResolver, RandomResolver
+    from repro.runtime.resolvers import (
+        NaturalResolver as RuntimeNatural,
+        RandomResolver as RuntimeRandom,
+    )
+
+    assert NaturalResolver is RuntimeNatural
+    assert RandomResolver is RuntimeRandom
+
+
+def test_workload_registry_is_importable_via_top_level():
+    import repro
+
+    workload = repro.make_workload("mgrid")
+    assert workload.name == "mgrid"

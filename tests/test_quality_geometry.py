@@ -1,0 +1,68 @@
+"""Tests for the quality study and geometry experiment result objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.experiments.geometry import (
+    run_associative_placement,
+    run_geometry_sweep,
+)
+from repro.experiments.quality import run_quality_study
+
+
+class TestQualityStudy:
+    def test_rows_and_lookup(self):
+        result = run_quality_study(("go",), trials=3)
+        row = result.row_for("go")
+        assert row.random_trials == 3
+        assert row.natural_miss > 0
+        with pytest.raises(KeyError):
+            result.row_for("nope")
+
+    def test_best_random_bounded_by_mean(self):
+        result = run_quality_study(("go",), trials=4)
+        row = result.row_for("go")
+        assert row.random_best_miss <= row.random_mean_miss
+
+    def test_render(self):
+        text = run_quality_study(("go",), trials=2).render()
+        assert "BestRandom" in text and "go" in text
+
+
+class TestGeometrySweepObjects:
+    def test_rows_for_filters(self):
+        result = run_geometry_sweep(
+            ("go",),
+            eval_geometries=(CacheConfig(8192, 32, 1),),
+        )
+        assert len(result.rows_for("go")) == 1
+        assert result.rows_for("unknown") == []
+
+    def test_pct_reduction_zero_when_natural_zero(self):
+        from repro.experiments.geometry import GeometryRow
+
+        row = GeometryRow("x", "t", "e", natural_miss=0.0, ccdp_miss=0.0)
+        assert row.pct_reduction == 0.0
+
+
+class TestAssociativePlacement:
+    def test_rows_and_render(self):
+        result = run_associative_placement(
+            ("go",), geometry=CacheConfig(8192, 32, 2)
+        )
+        row = result.row_for("go")
+        assert row.evaluated_on == "8K/32B/2-way"
+        assert row.natural_miss > 0
+        assert "Set-placed" in result.render()
+        with pytest.raises(KeyError):
+            result.row_for("nope")
+
+    def test_both_placements_not_catastrophic(self):
+        result = run_associative_placement(
+            ("go",), geometry=CacheConfig(8192, 32, 2)
+        )
+        row = result.row_for("go")
+        assert row.dm_placed_miss <= row.natural_miss * 1.2
+        assert row.assoc_placed_miss <= row.natural_miss * 1.2

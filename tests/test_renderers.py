@@ -1,0 +1,98 @@
+"""Tests for the linker-script and ASCII-scatter renderers."""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.core.placement_map import HeapDecision, PlacementMap
+from repro.reporting.linker_script import render_linker_script
+from repro.reporting.scatterplot import ScatterPoint, render_scatter
+
+
+def make_placement() -> PlacementMap:
+    placement = PlacementMap(cache_config=CacheConfig(1024, 32, 1))
+    placement.data_base = 0x10000
+    placement.stack_base = 0x40000
+    placement.global_offsets = {"alpha": 0, "beta": 64, "gamma": 256}
+    placement.heap_table = {
+        0xBEEF: HeapDecision(bin_tag=1, preferred_offset=96),
+        0xCAFE: HeapDecision(bin_tag=None, preferred_offset=None),
+    }
+    return placement
+
+
+class TestLinkerScript:
+    def test_contains_base_and_symbols(self):
+        text = render_linker_script(make_placement())
+        assert ". = 0x00010000;" in text
+        assert "alpha = .;" in text
+        assert "__stack_start = 0x00040000;" in text
+
+    def test_symbols_in_offset_order(self):
+        text = render_linker_script(make_placement())
+        assert text.index("alpha") < text.index("beta") < text.index("gamma")
+
+    def test_padding_emitted_with_sizes(self):
+        text = render_linker_script(
+            make_placement(), global_sizes={"alpha": 32, "beta": 64, "gamma": 8}
+        )
+        # alpha ends at 32, beta starts at 64 -> 0x20 pad; beta ends at
+        # 128, gamma at 256 -> 0x80 pad.
+        assert ". = . + 0x20;  /* pad */" in text
+        assert ". = . + 0x80;  /* pad */" in text
+
+    def test_heap_table_comment(self):
+        text = render_linker_script(make_placement())
+        assert "0x0000beef" in text
+        assert "XOR fold depth: 4" in text
+
+    def test_no_heap_table_section_when_empty(self):
+        placement = make_placement()
+        placement.heap_table = {}
+        text = render_linker_script(placement)
+        assert "allocation table" not in text
+
+    def test_program_name_in_header(self):
+        text = render_linker_script(make_placement(), program="demo.elf")
+        assert "demo.elf" in text
+
+
+class TestScatterPlot:
+    def test_empty(self):
+        assert "(no points)" in render_scatter([], title="t")
+
+    def test_high_y_lands_on_top_row(self):
+        points = [ScatterPoint(x=100, y=100)]
+        lines = render_scatter(points, height=8, width=20).splitlines()
+        assert any(g in lines[1] for g in ".o#@")
+
+    def test_low_y_lands_on_bottom_row(self):
+        points = [ScatterPoint(x=100, y=0)]
+        lines = render_scatter(points, height=8, width=20).splitlines()
+        assert any(g in lines[8] for g in ".o#@")
+
+    def test_x_log_scaling(self):
+        points = [ScatterPoint(1, 50), ScatterPoint(10, 50),
+                  ScatterPoint(100, 50)]
+        text = render_scatter(points, height=4, width=21)
+        # Three equidistant marks on a log axis, all in one row.
+        marked_rows = [
+            line for line in text.splitlines()
+            if "|" in line and line.strip("| %0123456789-").strip()
+        ]
+        assert len(marked_rows) == 1
+        body = marked_rows[0].split("|")[1]
+        marks = [i for i, ch in enumerate(body) if ch != " "]
+        assert len(marks) == 3
+        gaps = [b - a for a, b in zip(marks, marks[1:])]
+        assert abs(gaps[0] - gaps[1]) <= 1
+
+    def test_density_glyphs_scale(self):
+        dense = [ScatterPoint(10, 50)] * 50 + [ScatterPoint(1000, 50)]
+        text = render_scatter(dense, height=6, width=30)
+        assert "@" in text or "#" in text  # the dense cell
+        assert "." in text                  # the sparse cell
+
+    def test_title_and_axis(self):
+        text = render_scatter([ScatterPoint(5, 5)], title="fig3")
+        assert text.startswith("fig3")
+        assert "references (log scale)" in text

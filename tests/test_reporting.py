@@ -1,0 +1,83 @@
+"""Tests for ASCII table rendering and the static layout helper."""
+
+from __future__ import annotations
+
+from repro.memory.layout import SegmentLayout, align_up
+from repro.memory.static_layout import layout_sequential
+from repro.reporting.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_floats_fixed_precision(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(3.14159, precision=1) == "3.1"
+
+    def test_bools(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_strings_and_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_header_and_rows_aligned(self):
+        text = render_table(["Name", "Val"], [("a", 1.0), ("bb", 22.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("Name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_line(self):
+        text = render_table(["X"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["Name", "Val"], [("a", 5), ("b", 500)])
+        lines = text.splitlines()
+        assert lines[2].endswith("  5")
+        assert lines[3].endswith("500")
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(16, 8) == 16
+
+    def test_rounds_up(self):
+        assert align_up(17, 8) == 24
+
+    def test_invalid_alignment(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            align_up(1, 0)
+
+
+class TestLayoutSequential:
+    def test_sequential_aligned_addresses(self):
+        addresses = layout_sequential([("a", 10), ("b", 4)], base=0x100)
+        assert addresses["a"] == 0x100
+        assert addresses["b"] == 0x100 + 16
+
+    def test_empty(self):
+        assert layout_sequential([], base=0) == {}
+
+    def test_no_overlap(self):
+        items = [(f"v{i}", 3 + i * 7) for i in range(10)]
+        addresses = layout_sequential(items, base=0)
+        spans = sorted(
+            (addresses[key], addresses[key] + size) for key, size in items
+        )
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+class TestSegmentLayout:
+    def test_describe(self):
+        text = SegmentLayout().describe()
+        assert "text=" in text and "stack=" in text

@@ -1,0 +1,166 @@
+"""Unit tests for the placement address resolvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.placement_map import HeapDecision, PlacementMap
+from repro.memory.layout import DATA_BASE, STACK_BASE, TEXT_BASE
+from repro.naming.xor import xor_fold
+from repro.runtime.resolvers import (
+    CCDPResolver,
+    NaturalResolver,
+    RandomResolver,
+)
+from repro.trace.events import Category, ObjectInfo, STACK_OBJECT_ID
+
+
+def global_info(obj_id, size, symbol, decl=0):
+    return ObjectInfo(obj_id, Category.GLOBAL, size, symbol, decl)
+
+
+def heap_info(obj_id, size):
+    return ObjectInfo(obj_id, Category.HEAP, size, f"h#{obj_id}")
+
+
+class TestNaturalResolver:
+    def test_globals_sequential_in_declaration_order(self):
+        resolver = NaturalResolver()
+        resolver.on_object(global_info(1, 100, "a"))
+        resolver.on_object(global_info(2, 50, "b"))
+        assert resolver.address_of(1) == DATA_BASE
+        assert resolver.address_of(2) == DATA_BASE + 104  # aligned
+
+    def test_constants_in_text_segment(self):
+        resolver = NaturalResolver()
+        resolver.on_object(ObjectInfo(1, Category.CONST, 16, "c"))
+        assert resolver.address_of(1) == TEXT_BASE
+
+    def test_stack_at_default_base(self):
+        resolver = NaturalResolver()
+        assert resolver.address_of(STACK_OBJECT_ID) == STACK_BASE
+
+    def test_heap_first_fit_reuses_lowest(self):
+        resolver = NaturalResolver()
+        resolver.on_alloc(heap_info(1, 32), ())
+        resolver.on_alloc(heap_info(2, 32), ())
+        first = resolver.address_of(1)
+        resolver.on_free(1)
+        resolver.on_alloc(heap_info(3, 16), ())
+        assert resolver.address_of(3) == first
+
+    def test_free_removes_mapping(self):
+        resolver = NaturalResolver()
+        resolver.on_alloc(heap_info(1, 32), ())
+        resolver.on_free(1)
+        with pytest.raises(KeyError):
+            resolver.address_of(1)
+
+
+class TestRandomResolver:
+    def test_deterministic_given_seed(self):
+        first = RandomResolver(seed=7)
+        second = RandomResolver(seed=7)
+        for resolver in (first, second):
+            resolver.on_object(global_info(1, 64, "a"))
+            resolver.on_alloc(heap_info(2, 32), ())
+        assert first.address_of(1) == second.address_of(1)
+        assert first.address_of(2) == second.address_of(2)
+
+    def test_different_seeds_differ(self):
+        first = RandomResolver(seed=1)
+        second = RandomResolver(seed=2)
+        for resolver in (first, second):
+            for index in range(8):
+                resolver.on_object(global_info(index + 1, 64, f"g{index}"))
+        layouts = [
+            tuple(r.address_of(i + 1) for i in range(8)) for r in (first, second)
+        ]
+        assert layouts[0] != layouts[1]
+
+    def test_stack_stays_natural(self):
+        # The paper randomizes globals and heap only.
+        resolver = RandomResolver(seed=3)
+        assert resolver.address_of(STACK_OBJECT_ID) == STACK_BASE
+
+    def test_globals_remain_disjoint(self):
+        resolver = RandomResolver(seed=5)
+        sizes = {}
+        for index in range(20):
+            info = global_info(index + 1, 64 + index * 8, f"g{index}")
+            resolver.on_object(info)
+            sizes[info.obj_id] = info.size
+        spans = sorted(
+            (resolver.address_of(obj_id), resolver.address_of(obj_id) + size)
+            for obj_id, size in sizes.items()
+        )
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+class TestCCDPResolver:
+    def _placement(self) -> PlacementMap:
+        config = CacheConfig(1024, 32, 1)
+        placement = PlacementMap(cache_config=config)
+        placement.data_base = DATA_BASE + 96
+        placement.global_offsets = {"a": 0, "b": 512}
+        placement.stack_base = STACK_BASE + 256
+        name = xor_fold((0x10, 0x20, 0x30, 0x40))
+        placement.heap_table[name] = HeapDecision(bin_tag=2, preferred_offset=128)
+        return placement
+
+    def test_globals_at_placed_addresses(self):
+        resolver = CCDPResolver(self._placement())
+        resolver.on_object(global_info(1, 64, "b"))
+        assert resolver.address_of(1) == DATA_BASE + 96 + 512
+
+    def test_unknown_global_goes_to_fallback(self):
+        resolver = CCDPResolver(self._placement())
+        resolver.on_object(global_info(1, 64, "unseen"))
+        assert resolver.address_of(1) > DATA_BASE + 96 + 512
+
+    def test_stack_at_placed_base(self):
+        resolver = CCDPResolver(self._placement())
+        assert resolver.address_of(STACK_OBJECT_ID) == STACK_BASE + 256
+
+    def test_heap_honours_preferred_offset(self):
+        resolver = CCDPResolver(self._placement())
+        resolver.on_alloc(heap_info(5, 48), (0x10, 0x20, 0x30, 0x40))
+        assert resolver.address_of(5) % 1024 == 128
+
+    def test_unknown_name_uses_default_free_list(self):
+        resolver = CCDPResolver(self._placement())
+        resolver.on_alloc(heap_info(5, 48), (0x99,))
+        resolver.on_alloc(heap_info(6, 48), (0x99,))
+        # Default bin: sequential allocations land near each other.
+        assert abs(resolver.address_of(6) - resolver.address_of(5)) < 4096
+
+    def test_free_and_reallocate(self):
+        resolver = CCDPResolver(self._placement())
+        resolver.on_alloc(heap_info(5, 48), (0x10, 0x20, 0x30, 0x40))
+        addr = resolver.address_of(5)
+        resolver.on_free(5)
+        resolver.on_alloc(heap_info(6, 48), (0x10, 0x20, 0x30, 0x40))
+        # Same name, preferred offset satisfied again (likely same spot).
+        assert resolver.address_of(6) % 1024 == 128
+        assert addr % 1024 == 128
+
+
+class TestCompactHeapResolver:
+    def test_compact_heap_uses_first_fit(self):
+        from repro.cache.config import CacheConfig
+        from repro.core.placement_map import PlacementMap
+
+        placement = PlacementMap(cache_config=CacheConfig(1024, 32, 1))
+        placement.data_base = DATA_BASE
+        placement.stack_base = STACK_BASE
+        resolver = CCDPResolver(placement, compact_heap=True)
+        resolver.on_alloc(heap_info(1, 32), (0x1,))
+        resolver.on_alloc(heap_info(2, 32), (0x1,))
+        first = resolver.address_of(1)
+        second = resolver.address_of(2)
+        assert second == first + 32  # packed, no bins or pads
+        resolver.on_free(1)
+        resolver.on_alloc(heap_info(3, 16), (0x1,))
+        assert resolver.address_of(3) == first  # first-fit reuse

@@ -1,0 +1,91 @@
+"""Tests for the time-sampled TRG profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.algorithm import CCDPPlacer
+from repro.profiling.profiler import ProfilerSink
+from repro.profiling.sampling import SamplingProfilerSink, sampled_profile
+from repro.runtime.driver import measure
+from repro.runtime.resolvers import CCDPResolver
+
+
+class TestSamplingMechanics:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfilerSink(window=0, period=10)
+        with pytest.raises(ValueError):
+            SamplingProfilerSink(window=20, period=10)
+
+    def test_full_window_equals_exact_profiler(self, toy_workload, small_cache):
+        exact = ProfilerSink(cache_config=small_cache)
+        toy_workload.run(exact, toy_workload.train_input)
+        sampled = SamplingProfilerSink(
+            window=10, period=10, cache_config=small_cache
+        )
+        toy_workload.run(sampled, toy_workload.train_input)
+        assert sampled.profile.trg == exact.profile.trg
+        assert sampled.sampling_ratio == pytest.approx(1.0)
+
+    def test_sampling_ratio_matches_pattern(self, toy_workload, small_cache):
+        sink = SamplingProfilerSink(
+            window=100, period=400, cache_config=small_cache
+        )
+        toy_workload.run(sink, toy_workload.train_input)
+        assert sink.sampling_ratio == pytest.approx(0.25, abs=0.02)
+
+    def test_name_profile_is_exact_despite_sampling(
+        self, toy_workload, small_cache
+    ):
+        exact = ProfilerSink(cache_config=small_cache)
+        toy_workload.run(exact, toy_workload.train_input)
+        sink = SamplingProfilerSink(
+            window=50, period=500, cache_config=small_cache
+        )
+        toy_workload.run(sink, toy_workload.train_input)
+        for eid, entity in exact.profile.entities.items():
+            assert sink.profile.entities[eid].refs == entity.refs
+
+    def test_weights_scaled_to_full_run_magnitude(self, toy_workload, small_cache):
+        exact = ProfilerSink(cache_config=small_cache)
+        toy_workload.run(exact, toy_workload.train_input)
+        sink = SamplingProfilerSink(
+            window=200, period=400, cache_config=small_cache
+        )
+        toy_workload.run(sink, toy_workload.train_input)
+        exact_total = sum(exact.profile.trg.values())
+        sampled_total = sum(sink.profile.trg.values())
+        assert sampled_total == pytest.approx(exact_total, rel=0.5)
+
+    def test_fewer_edges_than_exhaustive(self, toy_workload, small_cache):
+        exact = ProfilerSink(cache_config=small_cache)
+        toy_workload.run(exact, toy_workload.train_input)
+        sink = SamplingProfilerSink(
+            window=20, period=400, cache_config=small_cache
+        )
+        toy_workload.run(sink, toy_workload.train_input)
+        assert len(sink.profile.trg) <= len(exact.profile.trg)
+
+
+class TestSampledPlacementQuality:
+    def test_sampled_profile_still_yields_good_placement(
+        self, toy_workload, small_cache
+    ):
+        """The paper's hope: sampling keeps most of the placement value."""
+        profile = sampled_profile(
+            toy_workload, window=100, period=300, cache_config=small_cache
+        )
+        placement = CCDPPlacer(profile, small_cache).place()
+        from repro.runtime.resolvers import NaturalResolver
+
+        natural = measure(
+            toy_workload, toy_workload.test_input,
+            NaturalResolver(), small_cache,
+        ).cache.miss_rate
+        sampled = measure(
+            toy_workload, toy_workload.test_input,
+            CCDPResolver(placement), small_cache,
+        ).cache.miss_rate
+        assert sampled <= natural * 1.05

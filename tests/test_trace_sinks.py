@@ -1,0 +1,69 @@
+"""Unit tests for trace sinks (multi-sink fan-out, recording, replay)."""
+
+from __future__ import annotations
+
+from repro.trace.events import Category, ObjectInfo
+from repro.trace.sinks import MultiSink, RecordingSink, TraceSink
+from repro.trace.stats import StatsSink
+
+
+def _emit_sample(sink: TraceSink) -> None:
+    sink.on_object(ObjectInfo(1, Category.GLOBAL, 64, "g"))
+    sink.on_access(1, 0, 4, False, Category.GLOBAL)
+    info = ObjectInfo(2, Category.HEAP, 32, "h")
+    sink.on_alloc(info, (0x10, 0x20))
+    sink.on_access(2, 8, 4, True, Category.HEAP)
+    sink.on_free(2)
+    sink.on_stack_depth(96)
+    sink.on_end()
+
+
+class TestBaseSink:
+    def test_all_hooks_are_noops(self):
+        # Must not raise anywhere.
+        _emit_sample(TraceSink())
+
+
+class TestMultiSink:
+    def test_fans_out_to_all_children(self):
+        first, second = RecordingSink(), RecordingSink()
+        _emit_sample(MultiSink([first, second]))
+        assert len(first.events) == len(second.events) == 4
+        assert first.ended and second.ended
+
+    def test_preserves_event_order(self):
+        child = RecordingSink()
+        _emit_sample(MultiSink([child]))
+        kinds = [type(e).__name__ for e in child.events]
+        assert kinds == ["Access", "Alloc", "Access", "Free"]
+
+
+class TestRecordingSink:
+    def test_records_objects_and_stack_depth(self):
+        sink = RecordingSink()
+        _emit_sample(sink)
+        assert len(sink.objects) == 1
+        assert sink.max_stack_depth == 96
+
+    def test_replay_reproduces_stats(self):
+        recorder = RecordingSink()
+        _emit_sample(recorder)
+        direct = StatsSink()
+        _emit_sample(direct)
+        replayed = StatsSink()
+        recorder.replay(replayed)
+        assert replayed.stats.memory_refs == direct.stats.memory_refs
+        assert replayed.stats.alloc_count == direct.stats.alloc_count
+        assert replayed.stats.max_stack_depth == direct.stats.max_stack_depth
+
+    def test_replay_delivers_alloc_return_addresses(self):
+        recorder = RecordingSink()
+        _emit_sample(recorder)
+        captured = []
+
+        class Capture(TraceSink):
+            def on_alloc(self, info, return_addresses):
+                captured.append(return_addresses)
+
+        recorder.replay(Capture())
+        assert captured == [(0x10, 0x20)]

@@ -1,0 +1,55 @@
+"""Tests for profile summary statistics."""
+
+from __future__ import annotations
+
+from repro.analysis.trg_stats import render_summary, summarize_profile
+from repro.profiling.profile_data import Entity, Profile, STACK_ENTITY_ID
+from repro.runtime.driver import profile_workload
+from repro.trace.events import Category
+
+
+class TestSummarizeProfile:
+    def test_empty_profile(self):
+        profile = Profile()
+        profile.entities[STACK_ENTITY_ID] = Entity(
+            STACK_ENTITY_ID, Category.STACK, "stack"
+        )
+        summary = summarize_profile(profile)
+        assert summary.entities == 1
+        assert summary.trg_edges == 0
+        assert summary.max_edge_weight == 0
+        assert summary.popular_at_99 == 0
+
+    def test_counts_by_category(self, toy_workload, small_cache):
+        profile = profile_workload(toy_workload, "train", small_cache)
+        summary = summarize_profile(profile)
+        assert summary.entities_by_category[Category.STACK] == 1
+        assert summary.entities_by_category[Category.GLOBAL] == 9
+        assert summary.entities_by_category[Category.CONST] == 1
+        assert summary.entities_by_category[Category.HEAP] >= 1
+        assert summary.entities == sum(
+            summary.entities_by_category.values()
+        )
+
+    def test_weight_accounting(self, toy_workload, small_cache):
+        profile = profile_workload(toy_workload, "train", small_cache)
+        summary = summarize_profile(profile)
+        assert summary.trg_edges == len(profile.trg)
+        assert summary.trg_total_weight == sum(profile.trg.values())
+        assert summary.max_edge_weight == max(profile.trg.values())
+        assert 0 < summary.weight_share_top_decile <= 100
+
+    def test_popular_matches_placer_phase0(self, toy_workload, small_cache):
+        from repro.core.algorithm import CCDPPlacer
+
+        profile = profile_workload(toy_workload, "train", small_cache)
+        summary = summarize_profile(profile)
+        placer = CCDPPlacer(profile, small_cache)
+        popular = placer._split_popular_unpopular(profile.popularity())
+        assert summary.popular_at_99 == len(popular)
+
+    def test_render(self, toy_workload, small_cache):
+        profile = profile_workload(toy_workload, "train", small_cache)
+        text = render_summary(summarize_profile(profile), title="toy")
+        assert "toy" in text
+        assert "TRG edges" in text

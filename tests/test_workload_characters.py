@@ -1,0 +1,134 @@
+"""Characterization tests: each workload's published-profile fingerprint.
+
+The nine workloads are engineered to match their program's Table 1 /
+Table 3 characteristics; these tests pin those fingerprints so future
+tuning cannot silently drift a workload away from the paper's shape.
+Bands are deliberately loose — they encode the *kind* of program each
+one is, not exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.driver import collect_stats
+from repro.trace.events import Category
+from repro.trace.stats import size_breakdown
+from repro.workloads import make_workload
+
+
+def stats_for(name: str):
+    workload = make_workload(name)
+    return collect_stats(workload, workload.train_input)
+
+
+class TestDeltablue:
+    def test_heap_dominates(self):
+        stats = stats_for("deltablue")
+        assert stats.pct_refs(Category.HEAP) > 50
+
+    def test_small_object_swarm(self):
+        row = size_breakdown(stats_for("deltablue"))
+        assert row.objects_per_bucket[1] > 2000  # 8-128 B bucket
+        assert row.pct_refs_per_bucket[1] > 80
+
+    def test_allocation_sizes_tiny(self):
+        stats = stats_for("deltablue")
+        assert stats.avg_alloc_size < 64
+
+
+class TestEspresso:
+    def test_heap_and_global_split(self):
+        stats = stats_for("espresso")
+        assert stats.pct_refs(Category.HEAP) > 25
+        assert stats.pct_refs(Category.GLOBAL) > 25
+
+    def test_cube_sized_allocations(self):
+        stats = stats_for("espresso")
+        assert 32 <= stats.avg_alloc_size <= 80
+
+
+class TestGcc:
+    def test_all_categories_active(self):
+        stats = stats_for("gcc")
+        for category in Category:
+            assert stats.pct_refs(category) > 5, category
+
+    def test_obstack_bucket_dominates(self):
+        row = size_breakdown(stats_for("gcc"))
+        assert row.pct_refs_per_bucket[3] == max(row.pct_refs_per_bucket)
+
+
+class TestGroff:
+    def test_heaviest_allocator_of_the_suite(self):
+        counts = {
+            name: stats_for(name).alloc_count
+            for name in ("deltablue", "espresso", "gcc", "groff")
+        }
+        assert counts["groff"] == max(counts.values())
+
+    def test_store_heavy(self):
+        stats = stats_for("groff")
+        assert stats.pct_stores > stats.pct_loads
+
+
+class TestCompress:
+    def test_pure_global_program(self):
+        stats = stats_for("compress")
+        assert stats.alloc_count == 0
+        assert stats.pct_refs(Category.GLOBAL) > 80
+
+    def test_has_giant_tables(self):
+        row = size_breakdown(stats_for("compress"))
+        assert row.objects_per_bucket[-1] == 1   # htab, >32 KB
+        assert row.objects_per_bucket[-2] == 1   # codetab, 8-32 KB
+
+
+class TestGo:
+    def test_global_dominated_no_heap(self):
+        stats = stats_for("go")
+        assert stats.alloc_count == 0
+        assert stats.pct_refs(Category.GLOBAL) > 85
+
+    def test_midsize_pattern_tables(self):
+        row = size_breakdown(stats_for("go"))
+        assert row.objects_per_bucket[3] >= 5  # 1-4 KB pattern tables
+
+
+class TestM88ksim:
+    def test_hot_midsize_structures(self):
+        row = size_breakdown(stats_for("m88ksim"))
+        # The 128 B-1 KB bucket (regfile, pipeline, scoreboard...) is hot.
+        assert row.pct_refs_per_bucket[2] > 30
+
+    def test_scalar_cluster_present(self):
+        stats = stats_for("m88ksim")
+        tiny = sum(1 for size in stats.object_sizes.values() if size == 8)
+        assert tiny >= 8
+
+
+class TestFpppp:
+    def test_four_hot_midsize_arrays(self):
+        row = size_breakdown(stats_for("fpppp"))
+        bucket = row.pct_refs_per_bucket[3]  # 1-4 KB
+        assert bucket > 40
+
+    def test_heavy_stack_traffic(self):
+        stats = stats_for("fpppp")
+        assert stats.pct_refs(Category.STACK) > 15
+
+
+class TestMgrid:
+    def test_single_giant_object_dominates(self):
+        row = size_breakdown(stats_for("mgrid"))
+        assert row.objects_per_bucket[-1] == 1
+        assert row.pct_refs_per_bucket[-1] > 90
+
+    def test_tiny_coefficients_barely_referenced(self):
+        row = size_breakdown(stats_for("mgrid"))
+        assert row.objects_per_bucket[0] > 1000
+        assert row.pct_refs_per_bucket[0] < 5
+
+    def test_no_stack_frames_of_consequence(self):
+        stats = stats_for("mgrid")
+        assert stats.pct_refs(Category.STACK) < 1

@@ -1,0 +1,139 @@
+"""Tests for the nine synthetic benchmark workloads.
+
+Each workload is validated for: registration, two inputs, determinism,
+bounds-safe accesses (the Program validates every access), balanced heap
+lifetimes, and the category mix the paper's Table 1 row implies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.driver import collect_stats
+from repro.trace.events import Category
+from repro.trace.sinks import TraceSink
+from repro.workloads import make_workload, workload_names
+
+ALL_NAMES = (
+    "deltablue",
+    "espresso",
+    "gcc",
+    "groff",
+    "compress",
+    "go",
+    "m88ksim",
+    "fpppp",
+    "mgrid",
+)
+
+#: Paper Section 5: heap placement only for these four.
+HEAP_PLACED = {"deltablue", "espresso", "groff", "gcc"}
+
+
+class TestRegistry:
+    def test_all_nine_registered_in_paper_order(self):
+        assert tuple(workload_names()) == ALL_NAMES
+
+    def test_make_workload_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_workload("doom")
+
+    def test_each_workload_has_train_and_test_inputs(self):
+        for name in ALL_NAMES:
+            workload = make_workload(name)
+            assert len(workload.inputs) >= 2
+            assert workload.train_input != workload.test_input
+
+    def test_heap_placement_flags_match_paper(self):
+        for name in ALL_NAMES:
+            workload = make_workload(name)
+            assert workload.place_heap == (name in HEAP_PLACED), name
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEachWorkload:
+    def test_runs_clean_with_validation(self, name):
+        # Program validates every access against object bounds; any
+        # out-of-range offset or use-after-free raises.
+        workload = make_workload(name)
+        stats = collect_stats(workload, workload.train_input)
+        assert stats.memory_refs > 5000
+
+    def test_deterministic_trace(self, name):
+        workload = make_workload(name)
+
+        class Digest(TraceSink):
+            def __init__(self):
+                self.value = 0
+                self.count = 0
+
+            def on_access(self, obj_id, offset, size, is_store, category):
+                self.count += 1
+                self.value = (
+                    self.value * 1000003
+                    + hash((obj_id, offset, size, is_store, int(category)))
+                ) & 0xFFFFFFFFFFFF
+
+        first, second = Digest(), Digest()
+        workload.run(first, workload.train_input)
+        make_workload(name).run(second, workload.train_input)
+        assert first.count == second.count
+        assert first.value == second.value
+
+    def test_inputs_differ(self, name):
+        workload = make_workload(name)
+        train = collect_stats(workload, workload.train_input)
+        test = collect_stats(make_workload(name), workload.test_input)
+        assert train.memory_refs != test.memory_refs
+
+    def test_heap_allocations_balanced(self, name):
+        workload = make_workload(name)
+        stats = collect_stats(workload, workload.train_input)
+        assert stats.free_count <= stats.alloc_count
+        if stats.alloc_count:
+            # Every workload frees nearly everything it allocates.
+            assert stats.free_count >= stats.alloc_count * 0.9
+
+    def test_instruction_mix_plausible(self, name):
+        workload = make_workload(name)
+        stats = collect_stats(workload, workload.train_input)
+        assert 10.0 <= stats.pct_loads + stats.pct_stores <= 75.0
+
+
+class TestCategoryMixes:
+    def test_compress_is_global_dominated_with_no_heap(self):
+        stats = collect_stats(make_workload("compress"), "bigtest-30k")
+        assert stats.pct_refs(Category.GLOBAL) > 60
+        assert stats.alloc_count == 0
+
+    def test_mgrid_single_giant_object_dominates(self):
+        stats = collect_stats(make_workload("mgrid"), "grid-32")
+        giant_refs = max(
+            (
+                refs
+                for obj_id, refs in stats.refs_by_object.items()
+                if stats.object_sizes.get(obj_id, 0) > 32768
+            ),
+            default=0,
+        )
+        assert giant_refs / stats.memory_refs > 0.9
+
+    def test_deltablue_is_heap_dominated(self):
+        stats = collect_stats(make_workload("deltablue"), "chain-900")
+        assert stats.pct_refs(Category.HEAP) > 40
+        assert stats.alloc_count > 1000
+
+    def test_gcc_touches_all_categories(self):
+        stats = collect_stats(make_workload("gcc"), "1recog")
+        for category in Category:
+            assert stats.pct_refs(category) > 1.0, category
+
+    def test_fpppp_has_no_heap(self):
+        stats = collect_stats(make_workload("fpppp"), "natoms-4")
+        assert stats.alloc_count == 0
+        assert stats.pct_refs(Category.STACK) > 10
+
+    def test_espresso_allocates_heavily(self):
+        stats = collect_stats(make_workload("espresso"), "bca")
+        assert stats.alloc_count > 500
+        assert 16 <= stats.avg_alloc_size <= 128
