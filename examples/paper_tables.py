@@ -11,6 +11,7 @@ simulated under multiple placements and inputs).
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from repro.experiments import (
@@ -47,6 +48,19 @@ def section(title: str) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment fan-out (default 1; "
+        "try the machine's core count)",
+    )
+    args = parser.parse_args()
+    from repro.experiments.common import set_parallel_jobs
+
+    set_parallel_jobs(args.jobs)
+
     start = time.time()
 
     section("Table 1 (paper p.5): workload statistics")

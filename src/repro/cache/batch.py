@@ -1,0 +1,289 @@
+"""Vectorized cache-simulation kernels over structure-of-arrays chunks.
+
+A direct-mapped cache admits a data-parallel formulation the scalar
+simulator cannot exploit: group a chunk of block references by cache set
+(a stable argsort), and within each set a reference hits exactly when it
+touches the same block as the previous reference to that set — the first
+reference of each set-group compares against a carried per-set tag array
+instead.  Hit/miss, per-category and per-object attribution, and
+write-back accounting all become numpy reductions; Python-level work per
+*chunk* replaces Python-level work per *event*.
+
+Write-backs use the same segmented view: every miss starts a new
+*resident run* of its set; a run is dirty when any of its accesses is a
+store (or when it continues a dirty line carried in from the previous
+chunk); evicting a dirty run costs one write-back.
+
+:class:`BatchCacheSimulator` exposes the kernel behind a chunk-consumer
+API and transparently falls back to the scalar
+:class:`~repro.cache.simulator.CacheSimulator` for set-associative
+geometries and three-Cs classification, so callers never need to branch.
+A *parity* mode drives the scalar simulator alongside the kernel and
+asserts identical :class:`~repro.cache.simulator.CacheStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.events import Category
+from .config import CacheConfig
+from .simulator import CacheSimulator, CacheStats
+
+_CATEGORIES = tuple(Category)
+_NUM_CATEGORIES = len(_CATEGORIES)
+
+
+def expand_blocks(
+    addr: np.ndarray,
+    size: np.ndarray,
+    line_size: int,
+    *columns: np.ndarray,
+) -> tuple[np.ndarray, ...]:
+    """Expand references into per-block touches, replicating ``columns``.
+
+    A reference spanning a line boundary touches every covered block, and
+    the scalar simulator counts each touched block as one access; this is
+    the vectorized equivalent.  Returns ``(blocks, *expanded_columns)``
+    where ``blocks`` are block *indices* (``block_addr // line_size``).
+    """
+    first = addr // line_size
+    last = (addr + size - 1) // line_size
+    counts = last - first + 1
+    if not len(addr) or int(counts.max()) == 1:
+        return (first, *columns)
+    index = np.repeat(np.arange(len(addr)), counts)
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(len(index)) - starts[index]
+    blocks = first[index] + offsets
+    return (blocks, *(column[index] for column in columns))
+
+
+class _DirectMappedKernel:
+    """Carried state + chunk consumer for the direct-mapped fast path."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.line_size = config.line_size
+        #: Narrowest dtype holding a set index: radix-sorting one or two
+        #: bytes is far cheaper than radix-sorting int64 keys.
+        self._set_dtype = np.min_scalar_type(self.num_sets - 1)
+        #: Resident block index per set; -1 means empty.
+        self.tags = np.full(self.num_sets, -1, dtype=np.int64)
+        #: Dirty bit of the resident line per set.
+        self.dirty = np.zeros(self.num_sets, dtype=bool)
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.acc_by_cat = np.zeros(_NUM_CATEGORIES, dtype=np.int64)
+        self.miss_by_cat = np.zeros(_NUM_CATEGORIES, dtype=np.int64)
+        self.acc_by_obj = np.zeros(0, dtype=np.int64)
+        self.miss_by_obj = np.zeros(0, dtype=np.int64)
+
+    def _grow_object_counters(self, max_obj: int) -> None:
+        if max_obj >= len(self.acc_by_obj):
+            grown = max(max_obj + 1, 2 * len(self.acc_by_obj))
+            self.acc_by_obj = np.concatenate(
+                [self.acc_by_obj, np.zeros(grown - len(self.acc_by_obj), np.int64)]
+            )
+            self.miss_by_obj = np.concatenate(
+                [self.miss_by_obj, np.zeros(grown - len(self.miss_by_obj), np.int64)]
+            )
+
+    def consume(
+        self,
+        addr: np.ndarray,
+        size: np.ndarray,
+        obj_id: np.ndarray,
+        category: np.ndarray,
+        is_store: np.ndarray,
+    ) -> None:
+        """Simulate one chunk of references."""
+        if not len(addr):
+            return
+        blocks, obj_e, cat_e, store_e = expand_blocks(
+            addr.astype(np.int64, copy=False),
+            size.astype(np.int64, copy=False),
+            self.line_size,
+            obj_id,
+            category,
+            is_store.astype(bool, copy=False),
+        )
+        total = len(blocks)
+        self.accesses += total
+        self.acc_by_cat += np.bincount(cat_e, minlength=_NUM_CATEGORIES)
+        max_obj = int(obj_e.max())
+        self._grow_object_counters(max_obj)
+        self.acc_by_obj += np.bincount(obj_e, minlength=len(self.acc_by_obj))
+
+        # Sort by set; stable keeps program order within each set-group.
+        sets = blocks % self.num_sets
+        order = np.argsort(
+            sets.astype(self._set_dtype, copy=False), kind="stable"
+        )
+        b = blocks[order]
+        s = sets[order]
+        st = store_e[order]
+
+        same_set = np.empty(total, dtype=bool)
+        same_set[0] = False
+        np.equal(s[1:], s[:-1], out=same_set[1:])
+        set_start = ~same_set
+
+        hit = np.empty(total, dtype=bool)
+        hit[0] = False
+        np.equal(b[1:], b[:-1], out=hit[1:])
+        hit &= same_set
+        # First access of each set-group compares to the carried tag.
+        hit[set_start] = b[set_start] == self.tags[s[set_start]]
+        miss = ~hit
+
+        obj_sorted = obj_e[order]
+        miss_cat = cat_e[order][miss]
+        self.miss_by_cat += np.bincount(miss_cat, minlength=_NUM_CATEGORIES)
+        self.miss_by_obj += np.bincount(
+            obj_sorted[miss], minlength=len(self.miss_by_obj)
+        )
+        self.misses += int(miss.sum())
+
+        # Resident runs: every miss fills a line and starts a run; the
+        # first access of a set-group also starts a (possibly continued)
+        # run so segment reductions never span two sets.
+        run_start = miss | set_start
+        seg_id = np.cumsum(run_start) - 1
+        seg_starts = np.flatnonzero(run_start)
+        seg_dirty = np.bitwise_or.reduceat(st.view(np.int8), seg_starts).astype(bool)
+        # A segment that starts with a hit can only be a set-group head
+        # continuing the carried resident line: inherit its dirty bit.
+        continues = hit[seg_starts]
+        if continues.any():
+            seg_dirty |= continues & self.dirty[s[seg_starts]]
+
+        # Write-backs: a miss evicts the previous resident run of its set
+        # (the carried line for set-group heads) when that run is dirty.
+        miss_pos = np.flatnonzero(miss)
+        at_head = set_start[miss_pos]
+        head_sets = s[miss_pos[at_head]]
+        wb_head = (self.tags[head_sets] != -1) & self.dirty[head_sets]
+        inner = miss_pos[~at_head]
+        wb_inner = seg_dirty[seg_id[inner] - 1]
+        self.writebacks += int(wb_head.sum()) + int(wb_inner.sum())
+
+        # Carry out: the last access of each set-group leaves its block
+        # resident with its run's accumulated dirty bit.
+        set_end = np.empty(total, dtype=bool)
+        set_end[-1] = True
+        np.not_equal(s[1:], s[:-1], out=set_end[:-1])
+        end_pos = np.flatnonzero(set_end)
+        self.tags[s[end_pos]] = b[end_pos]
+        self.dirty[s[end_pos]] = seg_dirty[seg_id[end_pos]]
+
+    def fill_stats(self, stats: CacheStats) -> None:
+        """Accumulate the kernel counters into a :class:`CacheStats`."""
+        stats.accesses += self.accesses
+        stats.misses += self.misses
+        stats.writebacks += self.writebacks
+        for category in _CATEGORIES:
+            stats.accesses_by_category[category] += int(self.acc_by_cat[category])
+            stats.misses_by_category[category] += int(self.miss_by_cat[category])
+        for source, target in (
+            (self.acc_by_obj, stats.accesses_by_object),
+            (self.miss_by_obj, stats.misses_by_object),
+        ):
+            nonzero = np.flatnonzero(source)
+            for obj, count in zip(nonzero.tolist(), source[nonzero].tolist()):
+                target[obj] = target.get(obj, 0) + count
+
+
+class BatchCacheSimulator:
+    """Chunk-consuming cache simulator with a vectorized fast path.
+
+    Args:
+        config: Cache geometry; the paper's 8K/32B direct-mapped default.
+        classify: Three-Cs classification; forces the scalar fallback.
+        parity: Run the scalar simulator alongside the kernel and let
+            :meth:`assert_parity` compare their stats — the batched
+            engine's correctness harness.
+
+    Consume whole column chunks via :meth:`consume` (or a
+    :class:`~repro.trace.buffer.TraceBuffer` via :meth:`consume_buffer`),
+    then read :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        classify: bool = False,
+        parity: bool = False,
+    ):
+        self.config = config or CacheConfig()
+        self.classify = classify
+        self.vectorized = self.config.associativity == 1 and not classify
+        self._kernel = _DirectMappedKernel(self.config) if self.vectorized else None
+        self._scalar = (
+            None
+            if self.vectorized and not parity
+            else CacheSimulator(self.config, classify=classify)
+        )
+        self._shadow = (
+            CacheSimulator(self.config, classify=classify)
+            if parity and self.vectorized
+            else None
+        )
+        if self._shadow is not None:
+            self._scalar = self._shadow
+        self.parity = parity
+        self._stats: CacheStats | None = None
+
+    def consume(
+        self,
+        addr: np.ndarray,
+        size: np.ndarray,
+        obj_id: np.ndarray,
+        category: np.ndarray,
+        is_store: np.ndarray,
+    ) -> None:
+        """Simulate one chunk of (addr, size, obj_id, category, is_store)."""
+        self._stats = None
+        if self._kernel is not None:
+            self._kernel.consume(addr, size, obj_id, category, is_store)
+            if self._shadow is None:
+                return
+        access = self._scalar.access
+        categories = _CATEGORIES
+        for a, sz, obj, cat, st in zip(
+            addr.tolist(),
+            size.tolist(),
+            obj_id.tolist(),
+            category.tolist(),
+            is_store.tolist(),
+        ):
+            access(a, sz, obj, categories[cat], bool(st))
+
+    def consume_buffer(self, buffer) -> None:
+        """Drain a :class:`~repro.trace.buffer.TraceBuffer` into the kernel."""
+        for chunk in buffer.drain():
+            self.consume(*chunk)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Accumulated statistics, identical to the scalar simulator's."""
+        if self._kernel is None:
+            return self._scalar.stats
+        if self._stats is None:
+            stats = CacheStats()
+            self._kernel.fill_stats(stats)
+            self._stats = stats
+        return self._stats
+
+    def assert_parity(self) -> None:
+        """In parity mode, assert kernel and scalar stats are identical."""
+        if self._shadow is None:
+            return
+        kernel_stats = self.stats
+        scalar_stats = self._shadow.stats
+        assert kernel_stats == scalar_stats, (
+            "batched kernel diverged from scalar simulator:\n"
+            f"  kernel: {kernel_stats}\n  scalar: {scalar_stats}"
+        )

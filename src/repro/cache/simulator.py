@@ -110,6 +110,11 @@ class CacheSimulator:
         #: (evictor obj_id, victim obj_id) -> eviction count.
         self.evictions: dict[tuple[int, int], int] = {}
         self._line_owner: list[int | None] = [None] * num_sets
+        self._line_size = self.config.line_size
+        self._num_sets = num_sets
+        # Direct-mapped references with no classification or eviction
+        # tracking take a short inline path in access().
+        self._fast = self._sets is None and not classify and not track_evictions
 
     def access(
         self,
@@ -127,9 +132,32 @@ class CacheSimulator:
         write-allocate: stores dirty their line, and evicting a dirty
         line counts one writeback of next-level traffic.
         """
-        line_size = self.config.line_size
+        line_size = self._line_size
         first_block = addr - (addr % line_size)
         last_block = (addr + size - 1) - ((addr + size - 1) % line_size)
+        if self._fast and first_block == last_block:
+            # Direct-mapped single-block fast path: no LRU bookkeeping,
+            # no classification, no per-block dispatch.
+            stats = self.stats
+            stats.accesses += 1
+            stats.accesses_by_category[category] += 1
+            by_obj = stats.accesses_by_object
+            by_obj[obj_id] = by_obj.get(obj_id, 0) + 1
+            set_index = (first_block // line_size) % self._num_sets
+            lines = self._lines
+            if lines[set_index] == first_block:
+                if is_store:
+                    self._dirty[set_index] = True
+                return False
+            if lines[set_index] is not None and self._dirty[set_index]:
+                stats.writebacks += 1
+            lines[set_index] = first_block
+            self._dirty[set_index] = is_store
+            stats.misses += 1
+            stats.misses_by_category[category] += 1
+            by_obj = stats.misses_by_object
+            by_obj[obj_id] = by_obj.get(obj_id, 0) + 1
+            return True
         missed = False
         block = first_block
         while block <= last_block:

@@ -11,7 +11,10 @@ Commands mirror the paper's workflow:
 * ``map``      — ASCII cache-occupancy maps, natural vs CCDP.
 * ``summary``  — profile/TRG summary statistics.
 * ``tables``   — regenerate one of the paper's tables/figures or one of
-  the extension studies (quality, overhead, hierarchy, sampling).
+  the extension studies (quality, overhead, hierarchy, sampling);
+  ``--jobs N`` fans the per-program experiments out over N processes.
+* ``bench``    — time the table pipeline under the batched engine vs the
+  scalar baseline and write ``BENCH_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -217,7 +220,9 @@ def cmd_summary(args) -> int:
 
 def cmd_tables(args) -> int:
     from . import experiments
+    from .experiments.common import set_parallel_jobs
 
+    set_parallel_jobs(args.jobs)
     runners = {
         "table1": experiments.run_table1,
         "table2": experiments.run_table2,
@@ -236,6 +241,19 @@ def cmd_tables(args) -> int:
     }
     result = runners[args.table]()
     print(result.render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .runtime.bench import render_bench, run_bench
+
+    result = run_bench(
+        quick=args.quick,
+        jobs=args.jobs,
+        output=args.output,
+        progress=print,
+    )
+    print(render_bench(result))
     return 0
 
 
@@ -304,6 +322,26 @@ def build_parser() -> argparse.ArgumentParser:
             "quality", "overhead", "hierarchy", "sampling", "sensitivity",
         ],
     )
+    p_tables.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-program experiments (default 1)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the batched engine against the scalar baseline"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="benchmark two programs instead of all nine (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the batched arm (default 1)",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="where to write the JSON report (default BENCH_pipeline.json)",
+    )
     return parser
 
 
@@ -316,6 +354,7 @@ _COMMANDS = {
     "map": cmd_map,
     "summary": cmd_summary,
     "tables": cmd_tables,
+    "bench": cmd_bench,
 }
 
 

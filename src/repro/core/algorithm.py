@@ -28,7 +28,6 @@ from ..cache.config import CacheConfig
 from ..memory.layout import DATA_BASE, STACK_BASE, TEXT_BASE
 from ..memory.static_layout import layout_sequential
 from ..profiling.profile_data import Profile, STACK_ENTITY_ID
-from ..profiling.trg import entity_affinity
 from ..trace.events import Category
 from .cache_struct import (
     CacheImage,
@@ -88,6 +87,10 @@ class CCDPPlacer:
     def place(self) -> PlacementMap:
         """Execute Phases 0-8 and return the placement map."""
         profile = self.profile
+        # The entity-level affinity collapse of TRGplace feeds Phases 1,
+        # 4, 5 and 7; derive it once per run (served precomputed when the
+        # profile came from the batched profiler).
+        self._affinity = profile.entity_affinity()
         popularity = profile.popularity()
         popular = self._split_popular_unpopular(popularity)          # PHASE 0
         heap_prep = self._preprocess_heap(popular)                   # PHASE 1
@@ -141,6 +144,7 @@ class CCDPPlacer:
             popular,
             locality_threshold=self.locality_threshold,
             max_bins=self.max_bins,
+            affinity=self._affinity,
         )
         self.stats.heap_bins = result.bin_count
         self.stats.collided_heap_names = len(result.demoted_entities)
@@ -234,7 +238,7 @@ class CCDPPlacer:
         }
         if len(small) < 2:
             return []
-        affinity = entity_affinity(self.profile.trg)
+        affinity = self._affinity
         candidates = sorted(
             (
                 (weight, pair)
@@ -283,7 +287,7 @@ class CCDPPlacer:
     ) -> dict[tuple[int, int], int]:
         """Entity affinity coalesced onto compound-node pairs."""
         edges: dict[tuple[int, int], int] = {}
-        for (eid_a, eid_b), weight in entity_affinity(self.profile.trg).items():
+        for (eid_a, eid_b), weight in self._affinity.items():
             nid_a = node_of_entity.get(eid_a)
             nid_b = node_of_entity.get(eid_b)
             if nid_a is None or nid_b is None or nid_a == nid_b:
@@ -408,7 +412,7 @@ class CCDPPlacer:
             atoms,
             unpopular,
             popularity,
-            entity_affinity(profile.trg),
+            self._affinity,
             cache_size,
             entity_sizes,
         )

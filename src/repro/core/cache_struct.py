@@ -11,12 +11,19 @@ edge weight between them.
 cache-line start location for a moving group of chunks against a fixed
 group, returning the location of minimum predicted conflict.  Rather than
 literally walking 256 x 256 line pairs, it iterates the TRG edges that
-cross from the moving set to the fixed set and scatters each edge's weight
-onto the start offsets at which the two chunks would share a line — an
-exactly equivalent but far cheaper formulation.
+cross from the moving set to the fixed set.  A chunk's line span is a
+*contiguous* circular interval, so the number of (fixed line, moving
+line) collisions at each candidate start is the convolution of two
+interval indicators — a trapezoid over the start offset.  Each edge
+therefore contributes just four signed deltas to a second-difference
+array; two cumulative sums and a circular fold then yield the whole cost
+vector exactly, in O(edges + lines) per scan instead of
+O(edges x span^2).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..cache.config import CacheConfig
 from ..profiling.profile_data import Profile
@@ -136,24 +143,80 @@ def conflict_cost_scan(
     Returns:
         ``(best_start_line, best_cost)``.
     """
-    cost = [0] * num_lines
+    # Two chunks share a line when the moving group starts at
+    # (fixed_line - moving_line) mod num_lines.  With contiguous spans of
+    # lengths sf and sm starting at F and M, the collision count per
+    # start offset is the trapezoid conv(1_sf, 1_sm) beginning at
+    # F - (M + sm - 1): its second difference is +1, -1, -1, +1 at
+    # offsets 0, sf, sm, sf + sm, so each edge costs four delta updates
+    # instead of sf * sm scatter increments.
+    interval_cache: dict[tuple[int, ...], bool] = {}
+
+    def is_interval(span: tuple[int, ...]) -> bool:
+        """Whether ``span`` lists consecutive lines (mod ``num_lines``)."""
+        cached = interval_cache.get(span)
+        if cached is None:
+            start = span[0]
+            cached = all(
+                line == (start + i) % num_lines for i, line in enumerate(span)
+            )
+            interval_cache[span] = cached
+        return cached
+
+    width = 2
+    deltas: list[tuple[int, int, int, int]] = []
     for moving_pair, moving_span in moving.items():
+        sm = len(moving_span)
+        base = moving_span[0] + sm - 1
+        moving_ok = is_interval(moving_span)
         for other_pair, weight in adjacency.get(moving_pair, ()):
             fixed_span = fixed.get(other_pair)
             if fixed_span is None:
                 continue
-            for fixed_line in fixed_span:
+            if moving_ok and is_interval(fixed_span):
+                sf = len(fixed_span)
+                deltas.append(
+                    ((fixed_span[0] - base) % num_lines, sf, sm, weight)
+                )
+                if sf + sm > width:
+                    width = sf + sm
+            else:
+                # Arbitrary span tuples (not produced by
+                # ``chunk_line_span``, but allowed by the API): fall back
+                # to one width-1 trapezoid per colliding line pair.
                 for moving_line in moving_span:
-                    # The two chunks share a line when the moving group
-                    # starts at (fixed_line - moving_line) mod num_lines.
-                    cost[(fixed_line - moving_line) % num_lines] += weight
-    best_start = preferred_start % num_lines
-    best_cost = cost[best_start]
-    for step in range(1, num_lines):
-        candidate = (preferred_start + step) % num_lines
-        if cost[candidate] < best_cost:
-            best_cost = cost[candidate]
-            best_start = candidate
-        if best_cost == 0:
-            break
-    return best_start, best_cost
+                    for fixed_line in fixed_span:
+                        deltas.append(
+                            (
+                                (fixed_line - moving_line) % num_lines,
+                                1,
+                                1,
+                                weight,
+                            )
+                        )
+    pref = preferred_start % num_lines
+    if not deltas:
+        return pref, 0
+    starts, sfs, sms, weights = (
+        np.array(column, dtype=np.int64) for column in zip(*deltas)
+    )
+    # Scatter the second differences into a linear buffer long enough for
+    # every trapezoid (start < num_lines, extent <= width), double-cumsum
+    # to materialize the trapezoids, then fold the buffer back onto the
+    # circle of start positions.
+    buffer_rows = (num_lines + width) // num_lines + 1
+    second = np.zeros(buffer_rows * num_lines, dtype=np.int64)
+    np.add.at(second, starts, weights)
+    np.add.at(second, starts + sfs, -weights)
+    np.add.at(second, starts + sms, -weights)
+    np.add.at(second, starts + sfs + sms, weights)
+    cost = (
+        np.cumsum(np.cumsum(second))
+        .reshape(buffer_rows, num_lines)
+        .sum(axis=0)
+    )
+    # First minimum in (preferred_start, preferred_start + 1, ...) scan
+    # order, matching the strict-improvement loop of Figure 2.
+    rotated = np.concatenate((cost[pref:], cost[:pref]))
+    step = int(np.argmin(rotated))
+    return (pref + step) % num_lines, int(rotated[step])

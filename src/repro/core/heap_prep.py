@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..profiling.profile_data import Profile
-from ..profiling.trg import entity_affinity
 from ..trace.events import Category
 
 #: Minimum adjacency / affinity evidence before two names share a bin.
@@ -72,6 +71,7 @@ def preprocess_heap_objects(
     popular: set[int],
     locality_threshold: int = DEFAULT_LOCALITY_THRESHOLD,
     max_bins: int = DEFAULT_MAX_BINS,
+    affinity: dict[tuple[int, int], int] | None = None,
 ) -> HeapPrepResult:
     """Assign bin tags and demote collided names (paper, Phase 1).
 
@@ -82,6 +82,8 @@ def preprocess_heap_objects(
         locality_threshold: Minimum co-allocation/affinity weight for two
             names to share a bin.
         max_bins: Maximum number of distinct allocation bins.
+        affinity: Precomputed :func:`entity_affinity` of ``profile.trg``
+            (derived here when omitted).
 
     Returns:
         Bin tags per XOR name, the set of demoted entities, and the heap
@@ -105,7 +107,8 @@ def preprocess_heap_objects(
             if name_a in entity_of_name and name_b in entity_of_name:
                 union.union(name_a, name_b)
 
-    affinity = entity_affinity(profile.trg)
+    if affinity is None:
+        affinity = profile.entity_affinity()
     for (eid_a, eid_b), weight in affinity.items():
         name_a = name_of_entity.get(eid_a)
         name_b = name_of_entity.get(eid_b)

@@ -3,28 +3,62 @@
 Every experiment (Tables 1-5, Figure 3, the random-placement comparison,
 and the Section 5.2 geometry study) is a function that returns a result
 object with ``rows`` and a ``render()`` method.  Expensive intermediate
-artifacts — profiles, placements, measured runs — are memoized per
-process so that e.g. Table 2 and Figure 3 share the same simulations.
+artifacts are memoized per process so that e.g. Table 2 and Figure 3
+share the same simulations, at two levels:
+
+* **Recorded traces** (:func:`cached_trace`): each (workload, input) is
+  run once through a :class:`~repro.trace.buffer.TraceRecorder`; Table 1
+  statistics, profiles, and every placement measurement are then derived
+  from the recorded columns by the batched kernels.  Traces are held in
+  a byte-bounded LRU (they are a few MB each).
+* **Finished results** (:func:`cached_experiment` and friends): full
+  pipeline outputs keyed by program, inputs, and the *explicit* cache
+  geometry fields ``(size, line_size, associativity)`` — never by the
+  config object itself, so config subclasses with loose equality or
+  hashing semantics cannot alias distinct geometries onto one entry.
+
+:func:`prefetch_experiments` fills the result cache for many programs at
+once across worker processes (:mod:`repro.runtime.parallel`); the
+per-program getters then hit the cache.  :func:`set_parallel_jobs` and
+:func:`set_engine` configure the default fan-out width and simulation
+engine for the whole harness (the ``repro tables --jobs`` /
+``repro bench`` plumbing).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from ..cache.config import CacheConfig
+from ..core.placement_map import PlacementMap
+from ..profiling.profile_data import Profile
 from ..runtime.driver import (
     ExperimentResult,
     MeasureResult,
+    build_placement,
     collect_stats,
     measure,
     run_experiment,
 )
+from ..runtime.parallel import ExperimentSpec, run_experiments
 from ..runtime.resolvers import NaturalResolver, RandomResolver
+from ..trace.buffer import TraceRecorder, record_trace
 from ..trace.stats import WorkloadStats
 from ..workloads import make_workload, workload_names
+from ..workloads.base import Workload
 
 #: Programs the paper applies heap placement to (Section 5).
 HEAP_PROGRAMS = ("deltablue", "espresso", "groff", "gcc")
 
+#: Byte bound on the recorded-trace LRU (all 18 paper traces ~= 42 MB).
+TRACE_CACHE_BYTES = 256 * 1024 * 1024
+
 _experiment_cache: dict[tuple, object] = {}
+_trace_cache: OrderedDict[tuple[str, str], TraceRecorder] = OrderedDict()
+_trace_cache_bytes = 0
+
+_parallel_jobs = 1
+_engine = "auto"
 
 
 def paper_cache() -> CacheConfig:
@@ -35,6 +69,114 @@ def paper_cache() -> CacheConfig:
 def all_programs() -> list[str]:
     """The nine benchmark programs in the paper's table order."""
     return workload_names()
+
+
+def set_parallel_jobs(jobs: int) -> None:
+    """Set the default worker count for :func:`prefetch_experiments`."""
+    global _parallel_jobs
+    _parallel_jobs = max(1, jobs)
+
+
+def parallel_jobs() -> int:
+    """The configured default experiment fan-out width."""
+    return _parallel_jobs
+
+
+def set_engine(engine: str) -> None:
+    """Select the harness-wide simulation engine (``auto`` or ``scalar``).
+
+    ``auto`` (the default) records traces once per (workload, input) and
+    derives everything from them with the batched kernels; ``scalar``
+    restores the seed's per-event pipeline — used by ``repro bench`` as
+    the baseline arm and available for debugging.
+    """
+    if engine not in ("auto", "scalar"):
+        raise ValueError(f"unknown engine: {engine!r}")
+    global _engine
+    _engine = engine
+
+
+def current_engine() -> str:
+    """The configured harness-wide engine."""
+    return _engine
+
+
+def _config_key(config: CacheConfig) -> tuple[int, int, int]:
+    """Memo-key fields of a cache geometry, listed explicitly.
+
+    Keying by the config *object* delegates cache identity to whatever
+    ``__eq__``/``__hash__`` the (possibly subclassed) config defines;
+    two distinct geometries must never share a memo entry, so the
+    geometry fields go into the key directly.
+    """
+    return (config.size, config.line_size, config.associativity)
+
+
+def cached_trace(name: str, input_name: str) -> TraceRecorder:
+    """Record (or reuse) the trace of one (workload, input) run."""
+    global _trace_cache_bytes
+    key = (name, input_name)
+    trace = _trace_cache.get(key)
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        return trace
+    trace = record_trace(make_workload(name), input_name)
+    _trace_cache[key] = trace
+    _trace_cache_bytes += trace.nbytes
+    while _trace_cache_bytes > TRACE_CACHE_BYTES and len(_trace_cache) > 1:
+        _evicted_key, evicted = _trace_cache.popitem(last=False)
+        _trace_cache_bytes -= evicted.nbytes
+    return trace
+
+
+def _trace_provider(workload: Workload, input_name: str) -> TraceRecorder:
+    return cached_trace(workload.name, input_name)
+
+
+def cached_placement(
+    name: str,
+    train_input: str | None = None,
+    cache_config: CacheConfig | None = None,
+    place_heap: bool | None = None,
+) -> tuple[Profile, PlacementMap]:
+    """Profile and place one program's training input (memoized).
+
+    Tables 2 and 4 (and the paging and figure studies) all train on the
+    same input; under the batched engine the profile is a deterministic
+    function of the recorded training trace, so it and the placement are
+    computed once and shared.
+    """
+    workload = make_workload(name)
+    train = train_input or workload.train_input
+    config = cache_config or paper_cache()
+    key = ("placement", name, train, _config_key(config), place_heap)
+    result = _experiment_cache.get(key)
+    if result is None:
+        trace = cached_trace(name, train) if _engine != "scalar" else None
+        result = build_placement(
+            workload, train, config, place_heap=place_heap, trace=trace
+        )
+        _experiment_cache[key] = result
+    return result
+
+
+def _experiment_key(
+    name: str,
+    same_input: bool,
+    include_random: bool,
+    classify: bool,
+    track_pages: bool,
+    config: CacheConfig,
+) -> tuple:
+    return (
+        "exp",
+        name,
+        same_input,
+        include_random,
+        classify,
+        track_pages,
+        _config_key(config),
+    )
 
 
 def cached_experiment(
@@ -52,19 +194,18 @@ def cached_experiment(
     measured (Table 4's realistic configuration).
     """
     config = cache_config or paper_cache()
-    key = (
-        "exp",
-        name,
-        same_input,
-        include_random,
-        classify,
-        track_pages,
-        config,
+    key = _experiment_key(
+        name, same_input, include_random, classify, track_pages, config
     )
     result = _experiment_cache.get(key)
     if result is None:
         workload = make_workload(name)
         test = workload.train_input if same_input else workload.test_input
+        batched = _engine != "scalar"
+
+        def placement_provider(wl: Workload, train: str, _trace):
+            return cached_placement(wl.name, train, config)
+
         result = run_experiment(
             workload,
             test_input=test,
@@ -72,9 +213,60 @@ def cached_experiment(
             include_random=include_random,
             classify=classify,
             track_pages=track_pages,
+            engine=_engine,
+            trace_provider=_trace_provider if batched else None,
+            placement_provider=placement_provider if batched else None,
         )
         _experiment_cache[key] = result
     return result
+
+
+def prefetch_experiments(
+    programs: list[str],
+    same_input: bool = False,
+    include_random: bool = False,
+    classify: bool = False,
+    track_pages: bool = False,
+    cache_config: CacheConfig | None = None,
+    jobs: int | None = None,
+) -> None:
+    """Fill the experiment cache for many programs across processes.
+
+    Runs every program whose :func:`cached_experiment` entry is missing
+    through :func:`repro.runtime.parallel.run_experiments` with ``jobs``
+    workers (default: :func:`parallel_jobs`) and merges the results into
+    the memo cache.  With one job or at most one missing program this is
+    a no-op — the per-program getters compute inline as before.
+    """
+    jobs = _parallel_jobs if jobs is None else jobs
+    config = cache_config or paper_cache()
+    missing = [
+        name
+        for name in programs
+        if _experiment_key(
+            name, same_input, include_random, classify, track_pages, config
+        )
+        not in _experiment_cache
+    ]
+    if jobs <= 1 or len(missing) <= 1:
+        return
+    specs = [
+        ExperimentSpec(
+            workload=name,
+            same_input=same_input,
+            include_random=include_random,
+            classify=classify,
+            track_pages=track_pages,
+            cache_config=config,
+            engine=_engine,
+        )
+        for name in missing
+    ]
+    for name, result in zip(missing, run_experiments(specs, jobs=jobs)):
+        key = _experiment_key(
+            name, same_input, include_random, classify, track_pages, config
+        )
+        _experiment_cache[key] = result
 
 
 def cached_stats(name: str, input_name: str | None = None) -> WorkloadStats:
@@ -84,7 +276,10 @@ def cached_stats(name: str, input_name: str | None = None) -> WorkloadStats:
     key = ("stats", name, input_name)
     result = _experiment_cache.get(key)
     if result is None:
-        result = collect_stats(workload, input_name)
+        trace = (
+            cached_trace(name, input_name) if _engine != "scalar" else None
+        )
+        result = collect_stats(workload, input_name, trace=trace)
         _experiment_cache[key] = result
     return result
 
@@ -98,11 +293,20 @@ def cached_natural_run(
     workload = make_workload(name)
     input_name = input_name or workload.train_input
     config = cache_config or paper_cache()
-    key = ("natural", name, input_name, config)
+    key = ("natural", name, input_name, _config_key(config))
     result = _experiment_cache.get(key)
     if result is None:
+        trace = (
+            cached_trace(name, input_name) if _engine != "scalar" else None
+        )
         result = measure(
-            workload, input_name, NaturalResolver(), config, classify=False
+            workload,
+            input_name,
+            NaturalResolver(),
+            config,
+            classify=False,
+            engine=_engine,
+            trace=trace,
         )
         _experiment_cache[key] = result
     return result
@@ -118,11 +322,20 @@ def cached_random_run(
     workload = make_workload(name)
     input_name = input_name or workload.train_input
     config = cache_config or paper_cache()
-    key = ("random", name, input_name, seed, config)
+    key = ("random", name, input_name, seed, _config_key(config))
     result = _experiment_cache.get(key)
     if result is None:
+        trace = (
+            cached_trace(name, input_name) if _engine != "scalar" else None
+        )
         result = measure(
-            workload, input_name, RandomResolver(seed=seed), config, classify=False
+            workload,
+            input_name,
+            RandomResolver(seed=seed),
+            config,
+            classify=False,
+            engine=_engine,
+            trace=trace,
         )
         _experiment_cache[key] = result
     return result
@@ -130,4 +343,7 @@ def cached_random_run(
 
 def clear_cache() -> None:
     """Drop all memoized experiment artifacts (used by tests)."""
+    global _trace_cache_bytes
     _experiment_cache.clear()
+    _trace_cache.clear()
+    _trace_cache_bytes = 0

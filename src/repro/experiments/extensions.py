@@ -25,7 +25,12 @@ from ..runtime.overhead import OverheadEstimate, OverheadReport, estimate_overhe
 from ..runtime.resolvers import CCDPResolver, NaturalResolver
 from ..trace.sinks import TraceSink
 from ..workloads import make_workload
-from .common import all_programs, cached_experiment, cached_stats
+from .common import (
+    all_programs,
+    cached_experiment,
+    cached_stats,
+    prefetch_experiments,
+)
 
 
 def run_overhead_report(
@@ -34,6 +39,7 @@ def run_overhead_report(
 ) -> OverheadReport:
     """Net cycles: miss savings minus custom-allocator overhead."""
     rows: list[OverheadEstimate] = []
+    prefetch_experiments(programs or all_programs(), same_input=False)
     for name in programs or all_programs():
         workload = make_workload(name)
         result = cached_experiment(name, same_input=False)

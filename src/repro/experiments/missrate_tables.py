@@ -19,7 +19,7 @@ from ..analysis.missrates import (
     average_row,
 )
 from ..reporting.tables import render_table
-from .common import all_programs, cached_experiment
+from .common import all_programs, cached_experiment, prefetch_experiments
 
 
 @dataclass
@@ -77,6 +77,7 @@ class MissRateTableResult:
 
 def _build(title: str, same_input: bool, programs: list[str] | None):
     rows = []
+    prefetch_experiments(programs or all_programs(), same_input=same_input)
     for name in programs or all_programs():
         result = cached_experiment(name, same_input=same_input)
         rows.append(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..reporting.tables import render_table
-from .common import HEAP_PROGRAMS, cached_experiment
+from .common import HEAP_PROGRAMS, cached_experiment, prefetch_experiments
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,7 @@ class Table5Result:
 def run_table5(programs: tuple[str, ...] = HEAP_PROGRAMS) -> Table5Result:
     """Measure paging for the heap-placement programs (testing input)."""
     rows = []
+    prefetch_experiments(list(programs), same_input=False, track_pages=True)
     for name in programs:
         result = cached_experiment(name, same_input=False, track_pages=True)
         original, ccdp = result.original, result.ccdp

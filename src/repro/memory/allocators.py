@@ -89,33 +89,33 @@ class TemporalFitAllocator:
         if size <= 0:
             raise HeapError(f"allocation size must be positive, got {size}")
         size = align_up(size, alignment)
-        order = sorted(
-            range(len(self.arena.free_blocks)),
-            key=lambda i: self.arena.free_blocks[i].last_touch,
-            reverse=True,
-        )
+        arena = self.arena
+        # Most-recent-first; ties scan in address order (ascending index),
+        # like a stable descending sort on last_touch.
+        order = sorted((-b.last_touch, i) for i, b in enumerate(arena.free_blocks))
         if preferred_offset is not None:
             preferred_offset %= self.cache_size
-            for index in order:
+            for _neg_touch, index in order:
                 addr = self._fit_at_offset(index, size, preferred_offset, alignment)
                 if addr is not None:
-                    self.arena.take_from_block(index, addr, size)
-                    self.arena.mark_live(addr, size)
+                    arena.take_from_block(index, addr, size)
+                    arena.mark_live(addr, size)
                     return addr
-            addr = self.arena.extend_to_cache_offset(
+            addr = arena.extend_to_cache_offset(
                 size, preferred_offset, self.cache_size
             )
-            self.arena.mark_live(addr, size)
+            arena.mark_live(addr, size)
             return addr
-        for index in order:
-            block = self.arena.free_blocks[index]
+        blocks = arena.free_blocks
+        for _neg_touch, index in order:
+            block = blocks[index]
             addr = align_up(block.addr, alignment)
             if addr + size <= block.end:
-                self.arena.take_from_block(index, addr, size)
-                self.arena.mark_live(addr, size)
+                arena.take_from_block(index, addr, size)
+                arena.mark_live(addr, size)
                 return addr
-        addr = self.arena.extend(size, alignment)
-        self.arena.mark_live(addr, size)
+        addr = arena.extend(size, alignment)
+        arena.mark_live(addr, size)
         return addr
 
     def _fit_at_offset(

@@ -22,18 +22,37 @@ class HeapError(Exception):
 DEFAULT_ALIGNMENT = 8
 
 
-@dataclass
 class FreeBlock:
-    """One contiguous run of free bytes inside an arena."""
+    """One contiguous run of free bytes inside an arena.
 
-    addr: int
-    size: int
-    last_touch: int = 0
+    Blocks are immutable once constructed (every free-list mutation
+    replaces blocks wholesale), so ``end`` is precomputed — the allocator
+    scans read it once per candidate block.
+    """
 
-    @property
-    def end(self) -> int:
-        """One past the last free byte."""
-        return self.addr + self.size
+    __slots__ = ("addr", "size", "end", "last_touch")
+
+    def __init__(self, addr: int, size: int, last_touch: int = 0):
+        self.addr = addr
+        self.size = size
+        #: One past the last free byte.
+        self.end = addr + size
+        self.last_touch = last_touch
+
+    def __repr__(self) -> str:
+        return (
+            f"FreeBlock(addr={self.addr}, size={self.size}, "
+            f"last_touch={self.last_touch})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FreeBlock):
+            return NotImplemented
+        return (self.addr, self.size, self.last_touch) == (
+            other.addr,
+            other.size,
+            other.last_touch,
+        )
 
 
 @dataclass

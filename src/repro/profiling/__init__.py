@@ -1,6 +1,7 @@
 """Profiling: Name profile, placement entities, TRG, sampling, serialization."""
 
 from .profile_data import Entity, Profile, STACK_ENTITY_ID
+from .batch import profile_trace
 from .profiler import ProfilerSink
 from .sampling import SamplingProfilerSink, sampled_profile
 from .serialize import (
@@ -20,17 +21,18 @@ from .trg import (
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "Entity",
-    "Profile",
-    "ProfilerSink",
-    "QUEUE_THRESHOLD_CACHE_MULTIPLE",
-    "STACK_ENTITY_ID",
-    "SamplingProfilerSink",
-    "SerializationError",
-    "TRGBuilder",
     "entity_affinity",
     "load_placement",
     "load_profile",
+    "Profile",
+    "profile_trace",
+    "ProfilerSink",
+    "QUEUE_THRESHOLD_CACHE_MULTIPLE",
     "sampled_profile",
+    "SamplingProfilerSink",
     "save_placement",
     "save_profile",
+    "SerializationError",
+    "STACK_ENTITY_ID",
+    "TRGBuilder",
 ]

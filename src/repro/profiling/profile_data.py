@@ -94,13 +94,33 @@ class Profile:
 
         This is Phase 0's metric: "The popularity of an object is the sum
         of the weights of the TRGplace edges that reference it."
+
+        The batched profiler precomputes this dict from its edge columns
+        (:func:`~repro.profiling.batch.profile_trace`); when that cache is
+        present it is returned directly.
         """
+        cached = getattr(self, "_popularity", None)
+        if cached is not None:
+            return cached
         totals = {eid: 0 for eid in self.entities}
         for ((eid_a, _ca), (eid_b, _cb)), weight in self.trg.items():
             totals[eid_a] = totals.get(eid_a, 0) + weight
             if eid_b != eid_a:
                 totals[eid_b] = totals.get(eid_b, 0) + weight
         return totals
+
+    def entity_affinity(self) -> dict[tuple[int, int], int]:
+        """Entity-level affinity (:func:`~repro.profiling.trg.entity_affinity`).
+
+        Like :meth:`popularity`, served from the batched profiler's
+        precomputed cache when present.
+        """
+        cached = getattr(self, "_affinity", None)
+        if cached is not None:
+            return cached
+        from .trg import entity_affinity
+
+        return entity_affinity(self.trg)
 
     def entities_of(self, category: Category) -> list[Entity]:
         """All entities of one category, in entity-id order."""

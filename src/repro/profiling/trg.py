@@ -18,6 +18,8 @@ placement).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 #: Placement granularity in bytes (paper, Section 3.2).
 DEFAULT_CHUNK_SIZE = 256
 
@@ -29,7 +31,18 @@ EdgeKey = tuple[PairKey, PairKey]
 
 
 class TRGBuilder:
-    """Incremental TRGplace construction over (entity, chunk) pairs."""
+    """Incremental TRGplace construction over (entity, chunk) pairs.
+
+    The recency queue is an :class:`~collections.OrderedDict` mapping each
+    queued ``(entity, chunk)`` pair to its accounted byte size, ordered
+    oldest-first (the *front* of the paper's queue ``Q`` is the dict's
+    tail).  Membership tests, front insertion, removal, and tail eviction
+    are all O(1); a hit at queue position ``p`` walks only the ``p``
+    entries in front of it (via reverse iteration), which is exactly the
+    number of edges it must increment.  The previous list-based queue paid
+    an additional O(n) ``list.index`` scan per reference — quadratic on
+    miss-heavy streams — while producing the same edges.
+    """
 
     def __init__(self, queue_threshold: int, chunk_size: int = DEFAULT_CHUNK_SIZE):
         if queue_threshold <= 0:
@@ -39,8 +52,9 @@ class TRGBuilder:
         self.queue_threshold = queue_threshold
         self.chunk_size = chunk_size
         self.edges: dict[EdgeKey, int] = {}
-        self._queue: list[PairKey] = []
-        self._entry_bytes: dict[PairKey, int] = {}
+        #: key -> entry_bytes, ordered oldest (first) to most recent (last).
+        self._queue: OrderedDict[PairKey, int] = OrderedDict()
+        self._front: PairKey | None = None
         self._queued_bytes = 0
 
     def observe(self, eid: int, chunk: int, entry_bytes: int) -> None:
@@ -53,33 +67,30 @@ class TRGBuilder:
                 size, or the entity size when smaller.
         """
         key = (eid, chunk)
-        queue = self._queue
-        if queue and queue[0] == key:
+        if key == self._front:
             # Hot path: repeated references to the same chunk create no
             # temporal relationships and no queue movement.
             return
-        edges = self.edges
-        try:
-            position = queue.index(key)
-        except ValueError:
-            position = -1
-        if position >= 0:
+        queue = self._queue
+        old_bytes = queue.get(key)
+        if old_bytes is not None:
             # Increment the edge to every entry between the front and the
             # hit position: each was referenced between two references to
             # `key`, so each would evict `key` in a shared cache line.
-            for other in queue[:position]:
-                if other[0] == eid and other[1] == chunk:
-                    continue
+            edges = self.edges
+            for other in reversed(queue):
+                if other == key:
+                    break
                 edge = (key, other) if key <= other else (other, key)
                 edges[edge] = edges.get(edge, 0) + 1
-            del queue[position]
-            self._queued_bytes -= self._entry_bytes[key]
-        queue.insert(0, key)
-        self._entry_bytes[key] = entry_bytes
+            queue.move_to_end(key)
+            self._queued_bytes -= old_bytes
+        queue[key] = entry_bytes
+        self._front = key
         self._queued_bytes += entry_bytes
         while self._queued_bytes > self.queue_threshold and len(queue) > 1:
-            evicted = queue.pop()
-            self._queued_bytes -= self._entry_bytes.pop(evicted)
+            _evicted, evicted_bytes = queue.popitem(last=False)
+            self._queued_bytes -= evicted_bytes
 
     @property
     def queue_length(self) -> int:

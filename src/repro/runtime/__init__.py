@@ -6,10 +6,11 @@ from .driver import (
     build_placement,
     collect_stats,
     measure,
+    measure_trace,
     profile_workload,
     run_experiment,
 )
-from .replay import ReplaySink
+from .replay import BatchReplaySink, ReplaySink
 from .resolvers import (
     AddressResolver,
     CCDPResolver,
@@ -19,15 +20,17 @@ from .resolvers import (
 
 __all__ = [
     "AddressResolver",
+    "BatchReplaySink",
+    "build_placement",
     "CCDPResolver",
+    "collect_stats",
     "ExperimentResult",
+    "measure",
+    "measure_trace",
     "MeasureResult",
     "NaturalResolver",
+    "profile_workload",
     "RandomResolver",
     "ReplaySink",
-    "build_placement",
-    "collect_stats",
-    "measure",
-    "profile_workload",
     "run_experiment",
 ]

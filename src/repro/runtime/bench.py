@@ -1,0 +1,230 @@
+"""End-to-end pipeline benchmark: batched engine vs the scalar baseline.
+
+``repro bench`` times the paper's table pipeline (Table 1 statistics and
+the Table 2/4 miss-rate tables) twice over the same programs:
+
+* **scalar** — the seed's per-event pipeline: every table re-runs each
+  workload through per-event sinks and the scalar cache simulator.
+* **batched** — the batched engine: each (workload, input) is recorded
+  once as structure-of-arrays columns, and statistics, profiles, and all
+  placement measurements are derived from the columns by the vectorized
+  kernels, optionally fanning experiments out across worker processes.
+
+Both arms produce identical tables (the parity suite asserts equality of
+every statistic), so the wall-clock ratio is a pure engine speedup.  A
+raw-kernel microbenchmark (events/sec through the cache simulators on a
+recorded trace) is included for the per-event view.  Results are written
+as JSON, by default to ``BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+from ..cache.batch import BatchCacheSimulator
+from ..cache.config import CacheConfig
+from ..cache.simulator import CacheSimulator
+from ..trace.buffer import DEFAULT_CHUNK_EVENTS, record_trace
+from ..workloads import make_workload
+from .resolvers import NaturalResolver
+
+#: Programs benchmarked by ``--quick`` (CI smoke) vs the full run.
+QUICK_PROGRAMS = ("deltablue", "espresso")
+DEFAULT_OUTPUT = "BENCH_pipeline.json"
+
+
+def _time_tables(programs: list[str]) -> dict[str, float]:
+    """Run the table pipeline once, timing each table."""
+    from ..experiments import run_table1, run_table2, run_table4
+
+    timings: dict[str, float] = {}
+    for label, runner in (
+        ("table1", run_table1),
+        ("table2", run_table2),
+        ("table4", run_table4),
+    ):
+        start = time.perf_counter()
+        runner(programs)
+        timings[label] = time.perf_counter() - start
+    return timings
+
+
+def _pipeline_events(programs: list[str]) -> int:
+    """Logical references processed by one pipeline pass.
+
+    Per program the tables touch: Table 1 statistics over the training
+    and testing inputs, Table 2 (profile + two measurements of the
+    training input), and Table 4 (profile the training input, measure
+    the testing input twice) — five passes over the training references
+    and three over the testing references.  Both arms perform the same
+    logical work, so events/sec compares throughput directly.
+    """
+    from ..experiments.common import cached_stats
+
+    total = 0
+    for name in programs:
+        workload = make_workload(name)
+        train = cached_stats(name, workload.train_input)
+        test = cached_stats(name, workload.test_input)
+        total += 5 * (train.loads + train.stores)
+        total += 3 * (test.loads + test.stores)
+    return total
+
+
+def _run_arm(
+    engine: str, programs: list[str], jobs: int
+) -> dict[str, object]:
+    from ..experiments.common import (
+        clear_cache,
+        set_engine,
+        set_parallel_jobs,
+    )
+
+    clear_cache()
+    set_engine(engine)
+    set_parallel_jobs(jobs)
+    start = time.perf_counter()
+    tables = _time_tables(programs)
+    total = time.perf_counter() - start
+    events = _pipeline_events(programs)
+    return {
+        "tables_s": tables,
+        "total_s": total,
+        "events": events,
+        "events_per_sec": events / total if total else 0.0,
+    }
+
+
+def _kernel_microbench(
+    program: str, config: CacheConfig | None = None
+) -> dict[str, object]:
+    """Events/sec through the raw cache simulators on one recorded trace."""
+    config = config or CacheConfig()
+    workload = make_workload(program)
+    trace = record_trace(workload, workload.train_input)
+    addr = trace.resolve(NaturalResolver())
+    _obj, _offset, size, cat, store = trace.columns()
+    obj = _obj
+
+    start = time.perf_counter()
+    engine = BatchCacheSimulator(config)
+    for begin in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
+        chunk = slice(begin, begin + DEFAULT_CHUNK_EVENTS)
+        engine.consume(
+            addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk]
+        )
+    batch_s = time.perf_counter() - start
+
+    from ..trace.events import Category
+
+    categories = tuple(Category)
+    scalar = CacheSimulator(config)
+    access = scalar.access
+    start = time.perf_counter()
+    for a, sz, o, c, st in zip(
+        addr.tolist(), size.tolist(), obj.tolist(), cat.tolist(), store.tolist()
+    ):
+        access(a, sz, o, categories[c], bool(st))
+    scalar_s = time.perf_counter() - start
+    assert engine.stats == scalar.stats, "kernel diverged during bench"
+
+    events = trace.events
+    return {
+        "program": program,
+        "events": events,
+        "batch_s": batch_s,
+        "scalar_s": scalar_s,
+        "batch_events_per_sec": events / batch_s if batch_s else 0.0,
+        "scalar_events_per_sec": events / scalar_s if scalar_s else 0.0,
+        "speedup": scalar_s / batch_s if batch_s else 0.0,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: int = 1,
+    output: str | None = DEFAULT_OUTPUT,
+    programs: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Benchmark the table pipeline under both engines; write JSON.
+
+    Returns the result dict (also written to ``output`` unless None):
+    per-table wall-clock for each arm, pipeline events/sec, the raw
+    kernel microbenchmark, and the headline ``speedup`` of the batched
+    arm over the scalar baseline.
+    """
+    from ..experiments.common import (
+        all_programs,
+        clear_cache,
+        set_engine,
+        set_parallel_jobs,
+    )
+
+    say = progress or (lambda _message: None)
+    if programs is None:
+        programs = list(QUICK_PROGRAMS) if quick else all_programs()
+
+    say(f"kernel microbench ({programs[0]})...")
+    kernel = _kernel_microbench(programs[0])
+    say("scalar pipeline arm...")
+    scalar_arm = _run_arm("scalar", programs, jobs=1)
+    say("batched pipeline arm...")
+    batched_arm = _run_arm("auto", programs, jobs=jobs)
+    clear_cache()
+    set_engine("auto")
+    set_parallel_jobs(1)
+
+    result: dict[str, object] = {
+        "quick": quick,
+        "programs": programs,
+        "jobs": jobs,
+        "arms": {"scalar": scalar_arm, "batched": batched_arm},
+        "kernel": kernel,
+        "speedup": (
+            scalar_arm["total_s"] / batched_arm["total_s"]
+            if batched_arm["total_s"]
+            else 0.0
+        ),
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+        result["output"] = output
+    return result
+
+
+def render_bench(result: dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_bench` result."""
+    lines = []
+    scalar = result["arms"]["scalar"]
+    batched = result["arms"]["batched"]
+    kernel = result["kernel"]
+    lines.append(
+        f"pipeline ({', '.join(result['programs'])}; jobs={result['jobs']}):"
+    )
+    for label in scalar["tables_s"]:
+        lines.append(
+            f"  {label:<8} scalar {scalar['tables_s'][label]:6.2f}s"
+            f"   batched {batched['tables_s'][label]:6.2f}s"
+        )
+    lines.append(
+        f"  {'total':<8} scalar {scalar['total_s']:6.2f}s"
+        f"   batched {batched['total_s']:6.2f}s"
+        f"   -> {result['speedup']:.2f}x"
+    )
+    lines.append(
+        f"  events/sec: scalar {scalar['events_per_sec']:,.0f}"
+        f"   batched {batched['events_per_sec']:,.0f}"
+    )
+    lines.append(
+        f"kernel ({kernel['program']}, {kernel['events']} events): "
+        f"scalar {kernel['scalar_events_per_sec']:,.0f} ev/s, "
+        f"batched {kernel['batch_events_per_sec']:,.0f} ev/s "
+        f"({kernel['speedup']:.1f}x)"
+    )
+    if "output" in result:
+        lines.append(f"wrote {result['output']}")
+    return "\n".join(lines)

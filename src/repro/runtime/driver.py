@@ -11,22 +11,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Callable
+
 from ..analysis.paging import PageTracker, PagingSummary
+from ..cache.batch import BatchCacheSimulator
 from ..cache.config import CacheConfig
 from ..cache.simulator import CacheSimulator, CacheStats
 from ..core.algorithm import CCDPPlacer
 from ..core.placement_map import PlacementMap
+from ..profiling.batch import profile_trace
 from ..profiling.profiler import ProfilerSink
 from ..profiling.profile_data import Profile
+from ..trace.buffer import DEFAULT_CHUNK_EVENTS, TraceRecorder, record_trace
 from ..trace.stats import StatsSink, WorkloadStats
 from ..workloads.base import Workload
-from .replay import ReplaySink
+from .replay import BatchReplaySink, ReplaySink
 from .resolvers import (
     AddressResolver,
     CCDPResolver,
     NaturalResolver,
     RandomResolver,
 )
+
+#: Provider signature for memoized recorded traces.
+TraceProvider = Callable[[Workload, str], TraceRecorder]
 
 
 @dataclass
@@ -66,8 +74,23 @@ def profile_workload(
     chunk_size: int = 256,
     name_depth: int = 4,
     queue_threshold: int | None = None,
+    trace: TraceRecorder | None = None,
 ) -> Profile:
-    """Run the profiler over one input and return the Name+TRG profile."""
+    """Run the profiler over one input and return the Name+TRG profile.
+
+    When a recorded ``trace`` of the same (workload, input) run is
+    supplied, the profile is derived from its columns by the batched
+    profiler (:func:`~repro.profiling.batch.profile_trace`) instead of
+    re-running the workload; the result is identical.
+    """
+    if trace is not None:
+        return profile_trace(
+            trace,
+            cache_config=cache_config,
+            chunk_size=chunk_size,
+            name_depth=name_depth,
+            queue_threshold=queue_threshold,
+        )
     sink = ProfilerSink(
         cache_config=cache_config,
         chunk_size=chunk_size,
@@ -78,11 +101,51 @@ def profile_workload(
     return sink.profile
 
 
-def collect_stats(workload: Workload, input_name: str) -> WorkloadStats:
-    """Gather Table 1 statistics for one input."""
+def collect_stats(
+    workload: Workload,
+    input_name: str,
+    trace: TraceRecorder | None = None,
+) -> WorkloadStats:
+    """Gather Table 1 statistics for one input.
+
+    With a recorded ``trace``, statistics are computed vectorized from
+    its columns instead of re-running the workload.
+    """
+    if trace is not None:
+        return trace.stats()
     sink = StatsSink()
     workload.run(sink, input_name)
     return sink.stats
+
+
+def measure_trace(
+    trace: TraceRecorder,
+    resolver: AddressResolver,
+    cache_config: CacheConfig | None = None,
+    classify: bool = False,
+    track_pages: bool = False,
+    parity: bool = False,
+) -> MeasureResult:
+    """Simulate a recorded trace under a placement, batched.
+
+    Lifetime ops are replayed through the resolver once to resolve the
+    whole address column in one gather; the resolved columns then stream
+    chunk-wise through the batched cache engine (and page tracker).
+    Results equal the scalar :func:`measure` of the same run.
+    """
+    engine = BatchCacheSimulator(cache_config, classify=classify, parity=parity)
+    pages = PageTracker() if track_pages else None
+    addr = trace.resolve(resolver)
+    obj, _offset, size, cat, store = trace.columns()
+    for start in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
+        chunk = slice(start, start + DEFAULT_CHUNK_EVENTS)
+        engine.consume(addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk])
+        if pages is not None:
+            pages.touch_batch(addr[chunk], size[chunk])
+    if parity:
+        engine.assert_parity()
+    paging = PagingSummary.from_tracker(pages) if pages else None
+    return MeasureResult(cache=engine.stats, paging=paging)
 
 
 def measure(
@@ -92,14 +155,41 @@ def measure(
     cache_config: CacheConfig | None = None,
     classify: bool = False,
     track_pages: bool = False,
+    engine: str = "auto",
+    trace: TraceRecorder | None = None,
 ) -> MeasureResult:
-    """Simulate one input under a placement and collect cache/page stats."""
-    cache = CacheSimulator(cache_config, classify=classify)
+    """Simulate one input under a placement and collect cache/page stats.
+
+    Args:
+        engine: ``"auto"`` (default) streams events through the batched
+            engine via :class:`~repro.runtime.replay.BatchReplaySink`;
+            ``"scalar"`` keeps the per-event pipeline.  Both produce
+            identical results — the batched engine itself falls back to
+            the scalar simulator for geometries it cannot vectorize.
+        trace: A recorded trace of the same (workload, input) run; when
+            given, the workload is not re-run at all
+            (:func:`measure_trace`).
+    """
+    if trace is not None and engine != "scalar":
+        return measure_trace(
+            trace,
+            resolver,
+            cache_config,
+            classify=classify,
+            track_pages=track_pages,
+        )
     pages = PageTracker() if track_pages else None
-    sink = ReplaySink(resolver, cache, pages)
+    if engine == "scalar":
+        cache = CacheSimulator(cache_config, classify=classify)
+        sink: ReplaySink | BatchReplaySink = ReplaySink(resolver, cache, pages)
+        stats_source = cache
+    else:
+        batch = BatchCacheSimulator(cache_config, classify=classify)
+        sink = BatchReplaySink(resolver, batch, pages)
+        stats_source = batch
     workload.run(sink, input_name)
     paging = PagingSummary.from_tracker(pages) if pages else None
-    return MeasureResult(cache=cache.stats, paging=paging)
+    return MeasureResult(cache=stats_source.stats, paging=paging)
 
 
 def build_placement(
@@ -107,11 +197,14 @@ def build_placement(
     train_input: str | None = None,
     cache_config: CacheConfig | None = None,
     place_heap: bool | None = None,
+    trace: TraceRecorder | None = None,
     **profiler_kwargs,
 ) -> tuple[Profile, PlacementMap]:
     """Profile the training input and run the placement algorithm."""
     train = train_input or workload.train_input
-    profile = profile_workload(workload, train, cache_config, **profiler_kwargs)
+    profile = profile_workload(
+        workload, train, cache_config, trace=trace, **profiler_kwargs
+    )
     placer = CCDPPlacer(
         profile,
         cache_config=cache_config,
@@ -130,20 +223,69 @@ def run_experiment(
     classify: bool = False,
     track_pages: bool = False,
     place_heap: bool | None = None,
+    engine: str = "auto",
+    trace_provider: TraceProvider | None = None,
+    placement_provider: Callable[
+        [Workload, str, TraceRecorder], tuple[Profile, PlacementMap]
+    ]
+    | None = None,
 ) -> ExperimentResult:
     """Full pipeline: profile on train, place, measure on test.
 
     Setting ``test_input`` equal to ``train_input`` reproduces the
     "ideal" Table 2 configuration; distinct inputs reproduce the
     realistic Table 4 configuration.
+
+    With the default batched ``engine``, each distinct (workload, input)
+    is run *once* to record its trace; profiling and every placement
+    measurement are then derived from the recorded columns by the
+    vectorized kernels.  ``trace_provider`` lets callers share recorded
+    traces across experiments (see
+    :func:`repro.experiments.common.cached_trace`), and
+    ``placement_provider`` likewise lets them reuse the (profile,
+    placement) pair derived from a shared training trace;
+    ``engine="scalar"`` restores the per-event pipeline.
     """
     train = train_input or workload.train_input
     test = test_input or workload.test_input
-    profile, placement = build_placement(
-        workload, train, cache_config, place_heap=place_heap
-    )
+    if engine == "scalar":
+        profile, placement = build_placement(
+            workload, train, cache_config, place_heap=place_heap
+        )
+        train_trace = test_trace = None
+    else:
+        provider = trace_provider
+        if provider is None:
+            local: dict[str, TraceRecorder] = {}
+
+            def provider(wl: Workload, input_name: str) -> TraceRecorder:
+                if input_name not in local:
+                    local[input_name] = record_trace(wl, input_name)
+                return local[input_name]
+
+        train_trace = provider(workload, train)
+        if placement_provider is not None:
+            profile, placement = placement_provider(workload, train, train_trace)
+        else:
+            profile, placement = build_placement(
+                workload,
+                train,
+                cache_config,
+                place_heap=place_heap,
+                trace=train_trace,
+            )
+        test_trace = (
+            train_trace if test == train else provider(workload, test)
+        )
     original = measure(
-        workload, test, NaturalResolver(), cache_config, classify, track_pages
+        workload,
+        test,
+        NaturalResolver(),
+        cache_config,
+        classify,
+        track_pages,
+        engine=engine,
+        trace=test_trace,
     )
     ccdp = measure(
         workload,
@@ -152,6 +294,8 @@ def run_experiment(
         cache_config,
         classify,
         track_pages,
+        engine=engine,
+        trace=test_trace,
     )
     random_result = None
     if include_random:
@@ -162,6 +306,8 @@ def run_experiment(
             cache_config,
             classify,
             track_pages,
+            engine=engine,
+            trace=test_trace,
         )
     return ExperimentResult(
         workload=workload.name,

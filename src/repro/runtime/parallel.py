@@ -1,0 +1,81 @@
+"""Parallel experiment fan-out across worker processes.
+
+The experiments are embarrassingly parallel at the (workload, config,
+placement-set) granularity: each full pipeline run touches no shared
+state beyond its own resolver/simulator instances, and every result
+object (profiles, placements, cache stats, paging summaries) is a plain
+picklable dataclass.  :func:`run_experiments` fans a list of
+:class:`ExperimentSpec` out over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` and returns results in spec order; the experiment
+harnesses merge them into their memo cache
+(:func:`repro.experiments.common.prefetch_experiments`), so every
+downstream table sees pre-computed entries.
+
+Worker processes rebuild workloads from their registry names — specs
+carry only strings and a :class:`~repro.cache.config.CacheConfig` — so
+nothing non-picklable ever crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..cache.config import CacheConfig
+from .driver import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One (workload, configuration) pipeline run, picklable."""
+
+    workload: str
+    same_input: bool = False
+    include_random: bool = False
+    classify: bool = False
+    track_pages: bool = False
+    cache_config: CacheConfig | None = None
+    engine: str = "auto"
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one spec's full pipeline (also the worker entry point)."""
+    from ..workloads import make_workload
+    from .driver import run_experiment
+
+    workload = make_workload(spec.workload)
+    test = workload.train_input if spec.same_input else workload.test_input
+    return run_experiment(
+        workload,
+        test_input=test,
+        cache_config=spec.cache_config,
+        include_random=spec.include_random,
+        classify=spec.classify,
+        track_pages=spec.track_pages,
+        engine=spec.engine,
+    )
+
+
+def run_experiments(
+    specs: list[ExperimentSpec], jobs: int | None = None
+) -> list[ExperimentResult]:
+    """Run all specs, fanning out over processes when ``jobs > 1``.
+
+    Results are returned in spec order.  With one job (or one spec) the
+    work runs inline — no pool, no pickling, identical results.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    jobs = default_jobs() if jobs is None else jobs
+    jobs = max(1, min(jobs, len(specs)))
+    if jobs == 1:
+        return [run_spec(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(run_spec, specs))

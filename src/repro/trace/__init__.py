@@ -10,6 +10,12 @@ from .events import (
     STACK_OBJECT_ID,
     TraceError,
 )
+from .buffer import (
+    DEFAULT_CHUNK_EVENTS,
+    TraceBuffer,
+    TraceRecorder,
+    record_trace,
+)
 from .sinks import MultiSink, RecordingSink, TraceSink
 from .validate import ValidatingSink, Violation
 from .stats import (
@@ -27,20 +33,24 @@ __all__ = [
     "Alloc",
     "Category",
     "CATEGORY_ORDER",
+    "DEFAULT_CHUNK_EVENTS",
     "Free",
     "MultiSink",
     "ObjectInfo",
+    "record_trace",
     "RecordingSink",
+    "size_breakdown",
+    "size_bucket",
     "SIZE_BUCKET_BOUNDS",
     "SIZE_BUCKET_LABELS",
-    "STACK_OBJECT_ID",
     "SizeBucketRow",
+    "STACK_OBJECT_ID",
     "StatsSink",
+    "TraceBuffer",
     "TraceError",
+    "TraceRecorder",
     "TraceSink",
     "ValidatingSink",
     "Violation",
     "WorkloadStats",
-    "size_breakdown",
-    "size_bucket",
 ]

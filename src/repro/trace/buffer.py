@@ -1,0 +1,426 @@
+"""Structure-of-arrays trace buffers: the batched-engine substrate.
+
+The scalar pipeline hands every memory reference to a sink as one Python
+method call, and every simulator processes it as one Python-level cache
+lookup.  That per-event shape is the interpreter-bound hot path of every
+experiment.  This module restructures the data flow: accesses are sunk
+into flat *columns* (``array`` module buffers exposed as numpy arrays)
+instead of per-event objects, and consumers drain whole chunks at a time
+into vectorized kernels (:mod:`repro.cache.batch`).
+
+Two producers are provided:
+
+* :class:`TraceBuffer` — a bounded staging buffer of *resolved* accesses
+  ``(address, size, obj_id, category, is_store)`` with a chunked
+  :meth:`TraceBuffer.drain` API.  Streaming consumers (the batched replay
+  sink) append events and periodically drain full chunks into a kernel.
+* :class:`TraceRecorder` — a :class:`~repro.trace.sinks.TraceSink` that
+  materializes one workload run as *unresolved* access columns
+  ``(obj_id, offset, size, category, is_store)`` plus the interleaved
+  object-lifetime events.  Because object ids are run-unique (never
+  reused), a recorded trace can be re-simulated under any placement
+  policy without re-running the workload: lifetime events are replayed
+  through a resolver once, and the whole address column is then computed
+  in one vectorized gather (:meth:`TraceRecorder.resolve`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator
+
+import numpy as np
+
+from .events import Category, ObjectInfo, STACK_OBJECT_ID
+from .sinks import TraceSink
+from .stats import WorkloadStats
+
+#: Default number of events per drained chunk (events, not bytes).
+DEFAULT_CHUNK_EVENTS = 1 << 16
+
+#: ``Category`` members indexed by value, for int -> enum conversion.
+_CATEGORIES = tuple(Category)
+
+# Lifetime-op tags recorded by TraceRecorder.
+_OP_OBJECT = 0
+_OP_ALLOC = 1
+_OP_FREE = 2
+_OP_STACK_DEPTH = 3
+_OP_COMPUTE = 4
+
+
+class TraceBuffer:
+    """Flat structure-of-arrays buffer of resolved memory accesses.
+
+    Columns are C-backed ``array`` buffers while filling (append is a
+    single C call) and are exposed as numpy arrays when drained, so the
+    per-event cost is five appends and the per-chunk cost is zero-copy
+    ``frombuffer`` views.
+    """
+
+    def __init__(self) -> None:
+        self._addr = array("q")
+        self._size = array("i")
+        self._obj = array("i")
+        self._cat = array("b")
+        self._store = array("b")
+        # Bound methods, so the hot append path skips attribute lookups.
+        self.append_addr = self._addr.append
+        self.append_size = self._size.append
+        self.append_obj = self._obj.append
+        self.append_cat = self._cat.append
+        self.append_store = self._store.append
+
+    def append(
+        self, addr: int, size: int, obj_id: int, category: int, is_store: bool
+    ) -> None:
+        """Append one resolved access to the columns."""
+        self._addr.append(addr)
+        self._size.append(size)
+        self._obj.append(obj_id)
+        self._cat.append(category)
+        self._store.append(is_store)
+
+    def __len__(self) -> int:
+        return len(self._addr)
+
+    def columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy numpy views of the five columns (addr, size, obj, cat, store)."""
+        if not self._addr:
+            empty = np.empty(0, dtype=np.int64)
+            return (
+                empty,
+                np.empty(0, np.int32),
+                np.empty(0, np.int32),
+                np.empty(0, np.int8),
+                np.empty(0, np.int8),
+            )
+        return (
+            np.frombuffer(self._addr, dtype=np.int64),
+            np.frombuffer(self._size, dtype=np.int32),
+            np.frombuffer(self._obj, dtype=np.int32),
+            np.frombuffer(self._cat, dtype=np.int8),
+            np.frombuffer(self._store, dtype=np.int8),
+        )
+
+    def clear(self) -> None:
+        """Drop all buffered events."""
+        del self._addr[:]
+        del self._size[:]
+        del self._obj[:]
+        del self._cat[:]
+        del self._store[:]
+
+    def drain(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield column chunks of at most ``chunk_events`` events, then clear.
+
+        The yielded arrays are copies, so the buffer can be refilled while
+        a consumer holds earlier chunks.
+        """
+        addr, size, obj, cat, store = self.columns()
+        total = len(addr)
+        for start in range(0, total, chunk_events):
+            end = min(start + chunk_events, total)
+            yield (
+                addr[start:end].copy(),
+                size[start:end].copy(),
+                obj[start:end].copy(),
+                cat[start:end].copy(),
+                store[start:end].copy(),
+            )
+        # Release the zero-copy views before clearing: an ``array`` with
+        # exported buffers refuses to resize.
+        del addr, size, obj, cat, store
+        self.clear()
+
+
+class TraceRecorder(TraceSink):
+    """Record one workload run as SoA access columns plus lifetime ops.
+
+    Unlike :class:`~repro.trace.sinks.RecordingSink` (per-event Python
+    objects), the access stream lives in five flat columns, and the much
+    rarer lifetime events (object declarations, allocs, frees, stack
+    growth, compute batches) are kept as a positioned op list so exact
+    interleaving can be reproduced.
+    """
+
+    def __init__(self) -> None:
+        self._obj = array("i")
+        self._offset = array("q")
+        self._size = array("i")
+        self._cat = array("b")
+        self._store = array("b")
+        #: (position-in-access-stream, op-kind, payload) in trace order.
+        self.ops: list[tuple[int, int, object]] = []
+        self.compute_instructions = 0
+        self.max_stack_depth = 0
+        self.ended = False
+        self._columns: tuple[np.ndarray, ...] | None = None
+        self._lifetime_ops: list[tuple[int, int, object]] | None = None
+        # The access hook is the per-event hot path of trace recording;
+        # a closure over the column appends skips all self lookups.
+        obj_append = self._obj.append
+        offset_append = self._offset.append
+        size_append = self._size.append
+        cat_append = self._cat.append
+        store_append = self._store.append
+
+        def on_access(obj_id, offset, size, is_store, category) -> None:
+            obj_append(obj_id)
+            offset_append(offset)
+            size_append(size)
+            cat_append(category)
+            store_append(is_store)
+
+        self.on_access = on_access
+
+    # -- sink hooks ---------------------------------------------------------
+
+    def on_object(self, info: ObjectInfo) -> None:
+        self.ops.append((len(self._obj), _OP_OBJECT, info))
+
+    def on_access(self, obj_id, offset, size, is_store, category) -> None:
+        self._obj.append(obj_id)
+        self._offset.append(offset)
+        self._size.append(size)
+        self._cat.append(category)
+        self._store.append(is_store)
+
+    def on_alloc(self, info: ObjectInfo, return_addresses) -> None:
+        self.ops.append((len(self._obj), _OP_ALLOC, (info, tuple(return_addresses))))
+
+    def on_free(self, obj_id: int) -> None:
+        self.ops.append((len(self._obj), _OP_FREE, obj_id))
+
+    def on_compute(self, instructions: int) -> None:
+        self.compute_instructions += instructions
+        self.ops.append((len(self._obj), _OP_COMPUTE, instructions))
+
+    def on_stack_depth(self, depth: int) -> None:
+        if depth > self.max_stack_depth:
+            self.max_stack_depth = depth
+            self.ops.append((len(self._obj), _OP_STACK_DEPTH, depth))
+
+    def on_end(self) -> None:
+        self.ended = True
+
+    # -- access columns -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._obj)
+
+    @property
+    def events(self) -> int:
+        """Number of recorded memory references."""
+        return len(self._obj)
+
+    def columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Numpy views of (obj_id, offset, size, category, is_store)."""
+        if self._columns is None or len(self._columns[0]) != len(self._obj):
+            if not self._obj:
+                self._columns = (
+                    np.empty(0, np.int32),
+                    np.empty(0, np.int64),
+                    np.empty(0, np.int32),
+                    np.empty(0, np.int8),
+                    np.empty(0, np.int8),
+                )
+            else:
+                self._columns = (
+                    np.frombuffer(self._obj, dtype=np.int32),
+                    np.frombuffer(self._offset, dtype=np.int64),
+                    np.frombuffer(self._size, dtype=np.int32),
+                    np.frombuffer(self._cat, dtype=np.int8),
+                    np.frombuffer(self._store, dtype=np.int8),
+                )
+        return self._columns
+
+    @property
+    def lifetime_ops(self) -> list[tuple[int, int, object]]:
+        """The ops that affect object lifetimes — compute batches excluded.
+
+        Compute ops usually dominate the op list but only carry an
+        instruction count (already totalled in ``compute_instructions``),
+        so consumers that replay lifetime state — address resolution,
+        batched profiling, statistics — iterate this filtered view.
+        """
+        if self._lifetime_ops is None or not self.ended:
+            self._lifetime_ops = [
+                op for op in self.ops if op[1] != _OP_COMPUTE
+            ]
+        return self._lifetime_ops
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the access columns."""
+        return sum(
+            col.itemsize * len(col)
+            for col in (self._obj, self._offset, self._size, self._cat, self._store)
+        )
+
+    # -- consumers ----------------------------------------------------------
+
+    def replay(self, sink: TraceSink) -> None:
+        """Feed the recorded stream into a scalar sink, event for event.
+
+        Lifetime ops are interleaved at their recorded positions, so a
+        sink observes exactly the stream the original run produced.
+        """
+        obj, offset, size, cat, store = self.columns()
+        obj_l = obj.tolist()
+        offset_l = offset.tolist()
+        size_l = size.tolist()
+        cat_l = [_CATEGORIES[c] for c in cat.tolist()]
+        store_l = [bool(s) for s in store.tolist()]
+        on_access = sink.on_access
+        position = 0
+        for op_position, kind, payload in self.ops:
+            while position < op_position:
+                on_access(
+                    obj_l[position],
+                    offset_l[position],
+                    size_l[position],
+                    store_l[position],
+                    cat_l[position],
+                )
+                position += 1
+            self._replay_op(sink, kind, payload)
+        total = len(obj_l)
+        while position < total:
+            on_access(
+                obj_l[position],
+                offset_l[position],
+                size_l[position],
+                store_l[position],
+                cat_l[position],
+            )
+            position += 1
+        if self.ended:
+            sink.on_end()
+
+    @staticmethod
+    def _replay_op(sink: TraceSink, kind: int, payload) -> None:
+        if kind == _OP_OBJECT:
+            sink.on_object(payload)
+        elif kind == _OP_ALLOC:
+            info, return_addresses = payload
+            sink.on_alloc(info, return_addresses)
+        elif kind == _OP_FREE:
+            sink.on_free(payload)
+        elif kind == _OP_STACK_DEPTH:
+            sink.on_stack_depth(payload)
+        else:
+            sink.on_compute(payload)
+
+    def iter_segments(
+        self,
+    ) -> Iterator[tuple[int, int, list[tuple[int, object]]]]:
+        """Yield ``(start, end, ops)`` segments of the access stream.
+
+        Each segment covers the accesses between two groups of lifetime
+        ops; ``ops`` lists the ``(kind, payload)`` events that fire at
+        position ``end`` (after the segment's accesses).  Batched
+        consumers process segment columns vectorized and apply the ops
+        scalar, preserving exact interleaving.
+        """
+        position = 0
+        pending: list[tuple[int, object]] = []
+        pending_position = 0
+        for op_position, kind, payload in self.ops:
+            if pending and op_position != pending_position:
+                yield (position, pending_position, pending)
+                position = pending_position
+                pending = []
+            pending_position = op_position
+            pending.append((kind, payload))
+        if pending:
+            yield (position, pending_position, pending)
+            position = pending_position
+        total = len(self._obj)
+        if position < total or total == 0:
+            yield (position, total, [])
+
+    def resolve(self, resolver) -> np.ndarray:
+        """Replay lifetime ops through ``resolver`` and resolve all addresses.
+
+        Returns the int64 address column ``base_of[obj_id] + offset`` for
+        every recorded access.  Correct because object ids are run-unique:
+        an object's base address never changes between its allocation and
+        its free, so the interleaving of accesses with lifetime events
+        cannot change the result.
+        """
+        obj, offset, _size, _cat, _store = self.columns()
+        max_obj = int(obj.max()) if len(obj) else STACK_OBJECT_ID
+        bases = np.zeros(max_obj + 1, dtype=np.int64)
+        base_of = resolver.base_of
+        bases[STACK_OBJECT_ID] = base_of[STACK_OBJECT_ID]
+        for _position, kind, payload in self.lifetime_ops:
+            if kind == _OP_OBJECT:
+                resolver.on_object(payload)
+                obj_id = payload.obj_id
+                if obj_id <= max_obj:
+                    bases[obj_id] = base_of[obj_id]
+            elif kind == _OP_ALLOC:
+                info, return_addresses = payload
+                resolver.on_alloc(info, return_addresses)
+                if info.obj_id <= max_obj:
+                    bases[info.obj_id] = base_of[info.obj_id]
+            elif kind == _OP_FREE:
+                resolver.on_free(payload)
+        return bases[obj] + offset
+
+    def stats(self) -> WorkloadStats:
+        """Compute Table 1 workload statistics from the columns, vectorized.
+
+        Produces a :class:`WorkloadStats` equal to what
+        :class:`~repro.trace.stats.StatsSink` collects from the same run.
+        """
+        obj, _offset, _size, cat, store = self.columns()
+        stats = WorkloadStats()
+        stats.object_sizes[STACK_OBJECT_ID] = 0
+        stats.object_categories[STACK_OBJECT_ID] = Category.STACK
+        total = len(obj)
+        stores = int(store.sum()) if total else 0
+        stats.instructions = total + self.compute_instructions
+        stats.stores = stores
+        stats.loads = total - stores
+        if total:
+            by_cat = np.bincount(cat, minlength=len(_CATEGORIES))
+            for category in _CATEGORIES:
+                stats.refs_by_category[category] = int(by_cat[category])
+            by_obj = np.bincount(obj)
+            nonzero = np.flatnonzero(by_obj)
+            stats.refs_by_object = dict(
+                zip(nonzero.tolist(), by_obj[nonzero].tolist())
+            )
+        for _position, kind, payload in self.lifetime_ops:
+            if kind == _OP_OBJECT:
+                stats.object_sizes[payload.obj_id] = payload.size
+                stats.object_categories[payload.obj_id] = payload.category
+            elif kind == _OP_ALLOC:
+                info, _return_addresses = payload
+                stats.alloc_count += 1
+                stats.alloc_bytes += info.size
+                stats.object_sizes[info.obj_id] = info.size
+                stats.object_categories[info.obj_id] = Category.HEAP
+            elif kind == _OP_FREE:
+                stats.free_count += 1
+                stats.free_bytes += stats.object_sizes.get(payload, 0)
+            elif kind == _OP_STACK_DEPTH:
+                if payload > stats.max_stack_depth:
+                    stats.max_stack_depth = payload
+                    stats.object_sizes[STACK_OBJECT_ID] = payload
+        return stats
+
+
+def record_trace(workload, input_name: str | None = None) -> TraceRecorder:
+    """Run ``workload`` once and return its recorded trace."""
+    recorder = TraceRecorder()
+    workload.run(recorder, input_name or workload.train_input)
+    return recorder

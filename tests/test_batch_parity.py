@@ -1,0 +1,198 @@
+"""Batched-engine parity: vectorized kernels == scalar simulator, exactly.
+
+The batched engine (:mod:`repro.cache.batch`, :mod:`repro.profiling.batch`,
+:func:`repro.runtime.driver.measure_trace`) is only admissible because it
+is *bit-identical* to the scalar pipeline — every paper table must be
+reproducible on either engine.  These tests pin that contract on real
+workloads (deltablue, espresso), a synthetic workload with heap churn,
+and three cache geometries: the paper's 8K/32B direct-mapped cache, a
+larger direct-mapped geometry, and a 2-way set-associative geometry that
+exercises the scalar fallback inside :class:`BatchCacheSimulator`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.batch import BatchCacheSimulator
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator
+from repro.profiling.batch import profile_trace
+from repro.profiling.profiler import ProfilerSink
+from repro.runtime.driver import build_placement, measure, measure_trace
+from repro.runtime.resolvers import CCDPResolver, NaturalResolver, RandomResolver
+from repro.trace.buffer import record_trace
+from repro.workloads import make_workload
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+GEOMETRIES = [
+    pytest.param(CacheConfig(size=8192, line_size=32, associativity=1), id="8k-32B-direct"),
+    pytest.param(CacheConfig(size=16384, line_size=64, associativity=1), id="16k-64B-direct"),
+    pytest.param(CacheConfig(size=8192, line_size=32, associativity=2), id="8k-32B-2way"),
+]
+
+
+def synthetic_workload() -> SyntheticWorkload:
+    """A small synthetic program with heap churn and aliased globals."""
+    return SyntheticWorkload(
+        SyntheticSpec(
+            hot_globals=3,
+            hot_size=512,
+            cold_spacer=7680,
+            small_cluster=4,
+            iterations=400,
+            heap_churn=3,
+            heap_persistent=2,
+        )
+    )
+
+
+def workload_under_test(name: str):
+    if name == "synthetic":
+        return synthetic_workload()
+    return make_workload(name)
+
+
+WORKLOADS = ["deltablue", "espresso", "synthetic"]
+
+
+@pytest.mark.parametrize("config", GEOMETRIES)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_measure_trace_matches_scalar_measure(name, config):
+    """Batched trace measurement == scalar per-event measurement."""
+    workload = workload_under_test(name)
+    input_name = workload.train_input
+    trace = record_trace(workload_under_test(name), input_name)
+    batched = measure_trace(trace, NaturalResolver(), config)
+    scalar = measure(
+        workload_under_test(name),
+        input_name,
+        NaturalResolver(),
+        config,
+        engine="scalar",
+    )
+    assert batched.cache == scalar.cache
+    assert batched.cache.accesses > 0
+    assert batched.cache.misses > 0
+
+
+@pytest.mark.parametrize("config", GEOMETRIES)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_streaming_batch_sink_matches_scalar(name, config):
+    """The streaming batched engine (live run) == scalar measurement."""
+    batched = measure(
+        workload_under_test(name),
+        workload_under_test(name).train_input,
+        RandomResolver(seed=99),
+        config,
+    )
+    scalar = measure(
+        workload_under_test(name),
+        workload_under_test(name).train_input,
+        RandomResolver(seed=99),
+        config,
+        engine="scalar",
+    )
+    assert batched.cache == scalar.cache
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_parity_mode_asserts_clean(name):
+    """The kernel's built-in shadow-simulator parity harness passes."""
+    workload = workload_under_test(name)
+    trace = record_trace(workload, workload.train_input)
+    result = measure_trace(
+        trace,
+        NaturalResolver(),
+        CacheConfig(size=8192, line_size=32, associativity=1),
+        parity=True,
+    )
+    assert result.cache.accesses == trace.events or result.cache.accesses > 0
+
+
+@pytest.mark.parametrize("config", GEOMETRIES)
+def test_parity_under_ccdp_placement(config):
+    """Parity also holds when replaying under a CCDP placement map."""
+    workload = workload_under_test("deltablue")
+    trace = record_trace(workload, workload.train_input)
+    _profile, placement = build_placement(
+        workload_under_test("deltablue"), workload.train_input, config
+    )
+    batched = measure_trace(trace, CCDPResolver(placement), config)
+    scalar = measure(
+        workload_under_test("deltablue"),
+        workload.train_input,
+        CCDPResolver(placement),
+        config,
+        engine="scalar",
+    )
+    assert batched.cache == scalar.cache
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_batched_profile_equals_scalar_profile(name):
+    """profile_trace == live ProfilerSink, down to dict insertion order."""
+    workload = workload_under_test(name)
+    input_name = workload.train_input
+    trace = record_trace(workload, input_name)
+    batched = profile_trace(trace)
+
+    sink = ProfilerSink()
+    workload_under_test(name).run(sink, input_name)
+    scalar = sink.profile
+
+    # TRG edges: same weights AND same insertion order (downstream
+    # tie-breaking iterates the dict).
+    assert list(batched.trg.items()) == list(scalar.trg.items())
+    assert batched.total_accesses == scalar.total_accesses
+    assert batched.alloc_adjacency == scalar.alloc_adjacency
+    assert set(batched.entities) == set(scalar.entities)
+    for eid, scalar_entity in scalar.entities.items():
+        batched_entity = batched.entities[eid]
+        assert batched_entity.refs == scalar_entity.refs
+        assert batched_entity.first_access == scalar_entity.first_access
+        assert batched_entity.last_access == scalar_entity.last_access
+        assert batched_entity.size == scalar_entity.size
+        assert batched_entity.collided == scalar_entity.collided
+    # Derived reductions (precomputed on the batched side) match too.
+    assert list(batched.popularity().items()) == list(scalar.popularity().items())
+    assert list(batched.entity_affinity().items()) == list(
+        scalar.entity_affinity().items()
+    )
+
+
+def test_parity_mode_catches_divergence():
+    """A corrupted kernel state must trip the parity assertion."""
+    engine = BatchCacheSimulator(
+        CacheConfig(size=8192, line_size=32, associativity=1), parity=True
+    )
+    import numpy as np
+
+    addr = np.arange(0, 64 * 32, 32, dtype=np.int64)
+    ones = np.ones(len(addr), dtype=np.int64)
+    zeros = np.zeros(len(addr), dtype=np.int64)
+    engine.consume(addr, ones * 4, zeros, zeros, zeros)
+    engine.assert_parity()  # clean so far
+    engine._kernel.misses += 1  # corrupt
+    engine._stats = None  # drop the memoized stats snapshot
+    with pytest.raises(AssertionError):
+        engine.assert_parity()
+
+
+def test_direct_mapped_scalar_fast_path_matches_lru_path():
+    """CacheSimulator's associativity==1 fast path == generic LRU path."""
+    config = CacheConfig(size=4096, line_size=32, associativity=1)
+    fast = CacheSimulator(config)
+    # classify=True forces the general path (three-Cs bookkeeping).
+    slow = CacheSimulator(config, classify=True)
+    workload = workload_under_test("synthetic")
+    trace = record_trace(workload, workload.train_input)
+
+    from repro.runtime.replay import ReplaySink
+
+    for sim in (fast, slow):
+        trace.replay(ReplaySink(NaturalResolver(), sim))
+    assert fast.stats.accesses == slow.stats.accesses
+    assert fast.stats.misses == slow.stats.misses
+    assert fast.stats.writebacks == slow.stats.writebacks
+    assert fast.stats.misses_by_object == slow.stats.misses_by_object

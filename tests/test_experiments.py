@@ -157,3 +157,36 @@ class TestGeometrySweep:
 
     def test_render(self):
         assert "Target" in run_geometry_sweep(("go",)).render()
+
+
+class TestMemoKeyGeometry:
+    """Distinct geometries must never alias one memo entry, even when a
+    CacheConfig subclass defines degenerate equality/hashing."""
+
+    def test_degenerate_config_subclass_does_not_alias(self):
+        from repro.cache.config import CacheConfig
+        from repro.experiments.common import cached_natural_run
+
+        class CollidingConfig(CacheConfig):
+            """Every instance hashes and compares equal — worst case."""
+
+            def __hash__(self):
+                return 42
+
+            def __eq__(self, other):
+                return isinstance(other, CollidingConfig)
+
+        small = CollidingConfig(size=1024, line_size=32, associativity=1)
+        large = CollidingConfig(size=65536, line_size=32, associativity=1)
+        small_run = cached_natural_run("go", cache_config=small)
+        large_run = cached_natural_run("go", cache_config=large)
+        # A key built from the config object would have returned the
+        # memoized small-cache result for the large cache.
+        assert small_run.cache.misses > large_run.cache.misses
+
+    def test_config_key_is_explicit_fields(self):
+        from repro.experiments.common import _config_key
+        from repro.cache.config import CacheConfig
+
+        key = _config_key(CacheConfig(size=8192, line_size=32, associativity=2))
+        assert key == (8192, 32, 2)

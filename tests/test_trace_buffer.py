@@ -1,0 +1,180 @@
+"""Unit tests for the structure-of-arrays trace buffers.
+
+:class:`TraceBuffer` and :class:`TraceRecorder` are the substrate of the
+batched engine; these tests pin their column semantics, chunked drain,
+lifetime-op bookkeeping, and the exactness of :meth:`TraceRecorder.replay`
+and :meth:`TraceRecorder.stats` against the live-run equivalents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.buffer import (
+    DEFAULT_CHUNK_EVENTS,
+    TraceBuffer,
+    TraceRecorder,
+    record_trace,
+)
+from repro.trace.events import Category
+from repro.trace.sinks import TraceSink
+from repro.trace.stats import StatsSink
+from repro.workloads import make_workload
+
+
+class TestTraceBuffer:
+    def test_append_and_columns(self):
+        buffer = TraceBuffer()
+        buffer.append(0x1000, 4, 7, int(Category.GLOBAL), True)
+        buffer.append(0x2000, 8, 9, int(Category.HEAP), False)
+        addr, size, obj, cat, store = buffer.columns()
+        assert addr.tolist() == [0x1000, 0x2000]
+        assert size.tolist() == [4, 8]
+        assert obj.tolist() == [7, 9]
+        assert cat.tolist() == [int(Category.GLOBAL), int(Category.HEAP)]
+        assert store.tolist() == [1, 0]
+        assert len(buffer) == 2
+
+    def test_empty_columns_have_stable_dtypes(self):
+        addr, size, obj, cat, store = TraceBuffer().columns()
+        assert addr.dtype == np.int64
+        assert size.dtype == np.int32
+        assert obj.dtype == np.int32
+        assert cat.dtype == np.int8
+        assert store.dtype == np.int8
+        assert len(addr) == 0
+
+    def test_drain_chunks_and_clears(self):
+        buffer = TraceBuffer()
+        total = 10
+        for index in range(total):
+            buffer.append(index * 32, 4, index, 0, False)
+        chunks = list(buffer.drain(chunk_events=4))
+        assert [len(chunk[0]) for chunk in chunks] == [4, 4, 2]
+        recovered = np.concatenate([chunk[0] for chunk in chunks])
+        assert recovered.tolist() == [index * 32 for index in range(total)]
+        assert len(buffer) == 0
+
+    def test_drained_chunks_survive_refill(self):
+        buffer = TraceBuffer()
+        buffer.append(1, 4, 0, 0, False)
+        (chunk,) = buffer.drain()
+        buffer.append(2, 4, 0, 0, False)
+        # The drained chunk is a copy; refilling must not disturb it.
+        assert chunk[0].tolist() == [1]
+
+
+class _EventLog(TraceSink):
+    """Records the full sink-call sequence for replay comparison."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_object(self, info):
+        self.calls.append(("object", info.obj_id))
+
+    def on_access(self, obj_id, offset, size, is_store, category):
+        self.calls.append(("access", obj_id, offset, size, is_store, category))
+
+    def on_alloc(self, info, return_addresses):
+        self.calls.append(("alloc", info.obj_id, tuple(return_addresses)))
+
+    def on_free(self, obj_id):
+        self.calls.append(("free", obj_id))
+
+    def on_compute(self, instructions):
+        self.calls.append(("compute", instructions))
+
+    def on_stack_depth(self, depth):
+        self.calls.append(("stack", depth))
+
+    def on_end(self):
+        self.calls.append(("end",))
+
+
+class TestTraceRecorder:
+    def test_replay_reproduces_live_event_sequence(self):
+        workload = make_workload("deltablue")
+        trace = record_trace(workload, workload.train_input)
+
+        live = _EventLog()
+        make_workload("deltablue").run(live, workload.train_input)
+        replayed = _EventLog()
+        trace.replay(replayed)
+
+        # Stack-depth events are recorded only at new maxima; the replay
+        # is otherwise event-for-event identical, in order.
+        live_calls = [c for c in live.calls if c[0] != "stack"]
+        replay_calls = [c for c in replayed.calls if c[0] != "stack"]
+        assert replay_calls == live_calls
+
+    def test_stats_equal_stats_sink(self):
+        workload = make_workload("espresso")
+        trace = record_trace(workload, workload.train_input)
+        sink = StatsSink()
+        make_workload("espresso").run(sink, workload.train_input)
+        assert trace.stats() == sink.stats
+
+    def test_lifetime_ops_exclude_compute(self):
+        workload = make_workload("deltablue")
+        trace = record_trace(workload, workload.train_input)
+        kinds = {kind for _pos, kind, _payload in trace.lifetime_ops}
+        from repro.trace.buffer import _OP_COMPUTE
+
+        assert _OP_COMPUTE not in kinds
+        assert len(trace.lifetime_ops) < len(trace.ops)
+        assert trace.compute_instructions > 0
+
+    def test_columns_are_flat_and_sized(self):
+        workload = make_workload("go")
+        trace = record_trace(workload, workload.train_input)
+        obj, offset, size, cat, store = trace.columns()
+        assert len(obj) == trace.events == len(trace)
+        assert offset.dtype == np.int64
+        assert trace.nbytes >= trace.events * (4 + 8 + 4 + 1 + 1)
+
+    def test_iter_segments_covers_stream(self):
+        workload = make_workload("deltablue")
+        trace = record_trace(workload, workload.train_input)
+        position = 0
+        op_count = 0
+        for start, end, ops in trace.iter_segments():
+            assert start == position
+            assert end >= start
+            position = end
+            op_count += len(ops)
+        assert position == trace.events
+        assert op_count == len(trace.ops)
+
+    def test_default_chunk_is_power_of_two(self):
+        assert DEFAULT_CHUNK_EVENTS & (DEFAULT_CHUNK_EVENTS - 1) == 0
+
+
+class TestResolve:
+    def test_resolve_matches_per_event_resolution(self):
+        from repro.runtime.resolvers import NaturalResolver
+
+        workload = make_workload("espresso")
+        trace = record_trace(workload, workload.train_input)
+        addr = trace.resolve(NaturalResolver())
+
+        class _AddressLog(TraceSink):
+            def __init__(self):
+                self.resolver = NaturalResolver()
+                self.addresses = []
+
+            def on_object(self, info):
+                self.resolver.on_object(info)
+
+            def on_alloc(self, info, return_addresses):
+                self.resolver.on_alloc(info, return_addresses)
+
+            def on_free(self, obj_id):
+                self.resolver.on_free(obj_id)
+
+            def on_access(self, obj_id, offset, size, is_store, category):
+                self.addresses.append(self.resolver.base_of[obj_id] + offset)
+
+        log = _AddressLog()
+        make_workload("espresso").run(log, workload.train_input)
+        assert addr.tolist() == log.addresses
