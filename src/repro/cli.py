@@ -14,7 +14,9 @@ Commands mirror the paper's workflow:
   the extension studies (quality, overhead, hierarchy, sampling);
   ``--jobs N`` fans the per-program experiments out over N processes.
 * ``bench``    — time the table pipeline under the batched engine vs the
-  scalar baseline and write ``BENCH_pipeline.json``.
+  scalar baseline and write ``BENCH_pipeline.json``; ``--placement``
+  times the placement pass (array vs scalar conflict-scan engine) and
+  writes ``BENCH_placement.json``.
 """
 
 from __future__ import annotations
@@ -245,12 +247,27 @@ def cmd_tables(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .runtime.bench import render_bench, run_bench
+    from .runtime.bench import (
+        DEFAULT_OUTPUT,
+        PLACEMENT_OUTPUT,
+        render_bench,
+        render_placement_bench,
+        run_bench,
+        run_placement_bench,
+    )
 
+    if args.placement:
+        result = run_placement_bench(
+            quick=args.quick,
+            output=args.output or PLACEMENT_OUTPUT,
+            progress=print,
+        )
+        print(render_placement_bench(result))
+        return 0
     result = run_bench(
         quick=args.quick,
         jobs=args.jobs,
-        output=args.output,
+        output=args.output or DEFAULT_OUTPUT,
         progress=print,
     )
     print(render_bench(result))
@@ -339,8 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the batched arm (default 1)",
     )
     p_bench.add_argument(
-        "-o", "--output", default="BENCH_pipeline.json",
-        help="where to write the JSON report (default BENCH_pipeline.json)",
+        "--placement", action="store_true",
+        help="benchmark the placement pass (array vs scalar engine) "
+             "instead of the simulation pipeline",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default=None,
+        help="where to write the JSON report (default BENCH_pipeline.json, "
+             "or BENCH_placement.json with --placement)",
     )
     return parser
 

@@ -3,6 +3,7 @@
 from .algorithm import CCDPPlacer, DEFAULT_POPULARITY_CUTOFF
 from .cache_struct import (
     CacheImage,
+    TRGIndex,
     active_chunks_by_entity,
     build_adjacency,
     chunk_line_span,
@@ -11,9 +12,12 @@ from .cache_struct import (
 from .compound import CompoundMerger, CompoundNode
 from .global_order import GlobalLayout, LayoutAtom, order_globals
 from .heap_prep import HeapPrepResult, preprocess_heap_objects
+from .placement_engine import ArrayCompoundMerger, ArrayPlacementEngine
 from .placement_map import HeapDecision, PlacementMap, PlacementStats
 
 __all__ = [
+    "ArrayCompoundMerger",
+    "ArrayPlacementEngine",
     "CCDPPlacer",
     "CacheImage",
     "CompoundMerger",
@@ -25,6 +29,7 @@ __all__ = [
     "LayoutAtom",
     "PlacementMap",
     "PlacementStats",
+    "TRGIndex",
     "active_chunks_by_entity",
     "build_adjacency",
     "chunk_line_span",

@@ -23,6 +23,9 @@ Phase 5 only fuses nodes and sums their edges — and avoids re-coalescing.
 from __future__ import annotations
 
 import heapq
+import time
+
+import numpy as np
 
 from ..cache.config import CacheConfig
 from ..memory.layout import DATA_BASE, STACK_BASE, TEXT_BASE
@@ -31,11 +34,13 @@ from ..profiling.profile_data import Profile, STACK_ENTITY_ID
 from ..trace.events import Category
 from .cache_struct import (
     CacheImage,
+    TRGIndex,
     active_chunks_by_entity,
     build_adjacency,
     conflict_cost_scan,
 )
 from .compound import CompoundMerger, CompoundNode
+from .placement_engine import FIXED, ArrayCompoundMerger, ArrayPlacementEngine
 from .global_order import GlobalLayout, LayoutAtom, order_globals
 from .heap_prep import (
     DEFAULT_LOCALITY_THRESHOLD,
@@ -63,6 +68,12 @@ class CCDPPlacer:
             gcc, leaving the other programs with zero run-time overhead.
         locality_threshold: Phase 1 binning evidence threshold.
         max_bins: Phase 1 bin-count cap.
+        engine: ``"array"`` (default) runs the conflict scans through the
+            vectorized :class:`~repro.core.placement_engine.\
+ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
+            :class:`~repro.core.compound.CompoundMerger` path.  Both
+            produce bit-identical placements (the parity suite asserts
+            it); the scalar path exists as the reference baseline.
     """
 
     def __init__(
@@ -73,19 +84,24 @@ class CCDPPlacer:
         place_heap: bool = True,
         locality_threshold: int = DEFAULT_LOCALITY_THRESHOLD,
         max_bins: int = DEFAULT_MAX_BINS,
+        engine: str = "array",
     ):
+        if engine not in ("array", "scalar"):
+            raise ValueError(f"unknown placement engine: {engine!r}")
         self.profile = profile
         self.config = cache_config or CacheConfig()
         self.popularity_cutoff = popularity_cutoff
         self.place_heap = place_heap
         self.locality_threshold = locality_threshold
         self.max_bins = max_bins
+        self.engine = engine
         self.stats = PlacementStats()
 
     # -- public entry point --------------------------------------------------
 
     def place(self) -> PlacementMap:
         """Execute Phases 0-8 and return the placement map."""
+        began = time.perf_counter()
         profile = self.profile
         # The entity-level affinity collapse of TRGplace feeds Phases 1,
         # 4, 5 and 7; derive it once per run (served precomputed when the
@@ -102,13 +118,17 @@ class CCDPPlacer:
             popular, nodes, node_of_entity
         )                                                            # PHASE 5
         select_edges = self._create_trgselect(node_of_entity)        # PHASE 4
+        merge_began = time.perf_counter()
         self._merge_loop(nodes, node_of_entity, select_edges, stack_const)  # PHASE 6
+        self.stats.merge_loop_seconds = time.perf_counter() - merge_began
         layout = self._final_global_layout(
             popular, nodes, node_of_entity, packed_groups, popularity
         )                                                            # PHASE 7
-        return self._write_placement_map(
+        placement = self._write_placement_map(
             layout, stack_offset, heap_prep, nodes, node_of_entity
         )                                                            # PHASE 8
+        self.stats.place_seconds = time.perf_counter() - began
+        return placement
 
     # -- PHASE 0 ---------------------------------------------------------------
 
@@ -152,8 +172,10 @@ class CCDPPlacer:
 
     # -- PHASE 2 ---------------------------------------------------------------
 
-    def _place_stack_and_constants(self) -> tuple[CacheImage, int]:
+    def _place_stack_and_constants(self) -> tuple[CacheImage | None, int]:
         """Fix constants at their text addresses, then place the stack."""
+        if self.engine == "array":
+            return None, self._place_stack_and_constants_array()
         profile = self.profile
         config = self.config
         active = active_chunks_by_entity(profile)
@@ -186,6 +208,44 @@ class CCDPPlacer:
             stack.eid, max(stack.size, 1), stack_offset, active.get(stack.eid, (0,))
         )
         return image, stack_offset
+
+    def _place_stack_and_constants_array(self) -> int:
+        """Array-engine Phase 2: same decisions, span arrays as state.
+
+        Builds the run's :class:`TRGIndex` + :class:`ArrayPlacementEngine`
+        (replacing ``build_adjacency`` / ``active_chunks_by_entity``),
+        registers constants at their text addresses as :data:`FIXED`,
+        then scans the stack against them exactly like the scalar path.
+        """
+        profile = self.profile
+        config = self.config
+        index = TRGIndex.for_profile(profile)
+        engine = ArrayPlacementEngine(index, config, profile.chunk_size)
+        self._array_engine = engine
+
+        constants = profile.entities_of(Category.CONST)
+        addresses = layout_sequential(
+            [(e.key, e.size) for e in sorted(constants, key=lambda e: e.decl_index)],
+            TEXT_BASE,
+        )
+        const_pairs = [
+            index.pair_ids(entity.eid) for entity in constants
+        ]
+        for entity in constants:
+            engine.set_entity_span(
+                entity.eid, addresses[entity.key] % config.size, entity.size
+            )
+        if const_pairs:
+            engine.set_owner(np.concatenate(const_pairs), FIXED)
+
+        stack = profile.entities[STACK_ENTITY_ID]
+        stack_pairs = index.pair_ids(stack.eid)
+        engine.set_entity_span(stack.eid, 0, max(stack.size, 1))
+        start_line, _cost = engine.scan(stack_pairs, None, preferred_start=0)
+        stack_offset = start_line * config.line_size
+        engine.set_entity_span(stack.eid, stack_offset, max(stack.size, 1))
+        engine.set_owner(stack_pairs, FIXED)
+        return stack_offset
 
     # -- PHASE 3 ---------------------------------------------------------------
 
@@ -298,27 +358,45 @@ class CCDPPlacer:
 
     # -- PHASE 6 ---------------------------------------------------------------
 
+    def _make_merger(
+        self,
+        nodes: dict[int, CompoundNode],
+        stack_const: CacheImage | None,
+    ) -> CompoundMerger | ArrayCompoundMerger:
+        """The engine-selected Phase 6 merger over the Phase 2 image."""
+        profile = self.profile
+        entity_sizes = {eid: max(e.size, 1) for eid, e in profile.entities.items()}
+        if self.engine == "array":
+            return ArrayCompoundMerger(self._array_engine, entity_sizes, nodes)
+        return CompoundMerger(
+            self.config,
+            profile.chunk_size,
+            stack_const,
+            self._adjacency,
+            entity_sizes,
+            self._active_chunks,
+        )
+
     def _merge_loop(
         self,
         nodes: dict[int, CompoundNode],
         node_of_entity: dict[int, int],
         select_edges: dict[tuple[int, int], int],
-        stack_const: CacheImage,
+        stack_const: CacheImage | None,
     ) -> None:
         """Merge compound nodes in descending TRGselect-weight order."""
-        profile = self.profile
-        merger = CompoundMerger(
-            self.config,
-            profile.chunk_size,
-            stack_const,
-            self._adjacency,
-            {eid: max(e.size, 1) for eid, e in profile.entities.items()},
-            self._active_chunks,
-        )
+        merger = self._make_merger(nodes, stack_const)
         heap: list[tuple[int, int, int]] = [
             (-weight, nid_a, nid_b) for (nid_a, nid_b), weight in select_edges.items()
         ]
         heapq.heapify(heap)
+        # Per-node incidence index over the live TRGselect edges, so that
+        # absorbing a node re-keys only its own edges (O(deg)) rather than
+        # rescanning every edge in select_edges.
+        incident: dict[int, set[tuple[int, int]]] = {}
+        for edge in select_edges:
+            incident.setdefault(edge[0], set()).add(edge)
+            incident.setdefault(edge[1], set()).add(edge)
         alias: dict[int, int] = {}
 
         def resolve(nid: int) -> int:
@@ -335,23 +413,32 @@ class CCDPPlacer:
             if select_edges.get(pair) != -neg_weight:
                 continue  # stale heap entry
             del select_edges[pair]
-            node1, node2 = nodes[pair[0]], nodes[pair[1]]
+            keeper, absorbed = pair
+            incident.get(keeper, set()).discard(pair)
+            incident.get(absorbed, set()).discard(pair)
+            node1, node2 = nodes[keeper], nodes[absorbed]
             cost = merger.merge(node1, node2)
             self.stats.total_conflict_cost += cost
-            alias[pair[1]] = pair[0]
-            del nodes[pair[1]]
+            alias[absorbed] = keeper
+            del nodes[absorbed]
             for eid in list(node1.offsets):
-                node_of_entity[eid] = pair[0]
-            # Coalesce edges incident to the absorbed node.
-            for other_pair in [p for p in select_edges if pair[1] in p]:
+                node_of_entity[eid] = keeper
+            # Coalesce edges incident to the absorbed node.  The sums are
+            # order-independent and every pushed entry carries the edge's
+            # weight at push time, so iteration order cannot change which
+            # merges become effective (see tests/test_merge_loop.py).
+            for other_pair in incident.pop(absorbed, ()):
                 weight = select_edges.pop(other_pair)
-                third = other_pair[0] if other_pair[1] == pair[1] else other_pair[1]
+                third = other_pair[0] if other_pair[1] == absorbed else other_pair[1]
+                incident.get(third, set()).discard(other_pair)
                 third = resolve(third)
-                if third == pair[0]:
+                if third == keeper:
                     continue
-                new_pair = (pair[0], third) if pair[0] <= third else (third, pair[0])
+                new_pair = (keeper, third) if keeper <= third else (third, keeper)
                 new_weight = select_edges.get(new_pair, 0) + weight
                 select_edges[new_pair] = new_weight
+                incident.setdefault(keeper, set()).add(new_pair)
+                incident.setdefault(third, set()).add(new_pair)
                 heapq.heappush(heap, (-new_weight, new_pair[0], new_pair[1]))
         # Anchor any never-merged nodes against Stack_Const so every
         # popular entity ends up with a concrete preferred offset.

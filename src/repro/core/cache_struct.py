@@ -23,12 +23,17 @@ O(edges x span^2).
 
 from __future__ import annotations
 
+from itertools import chain
+
 import numpy as np
 
 from ..cache.config import CacheConfig
 from ..profiling.profile_data import Profile
 
 PairKey = tuple[int, int]
+
+#: Bit width of the chunk field in a packed (entity, chunk) pair key.
+_CHUNK_BITS = 32
 
 
 def chunk_line_span(
@@ -125,6 +130,103 @@ def active_chunks_by_entity(profile: Profile) -> dict[int, tuple[int, ...]]:
     return {eid: tuple(sorted(cs)) for eid, cs in chunks.items()}
 
 
+class TRGIndex:
+    """CSR adjacency over TRGplace edges with a dense pair universe.
+
+    The pair universe covers every (entity, chunk) pair that participates
+    in at least one TRG edge plus chunk 0 of every entity — exactly the
+    pairs :func:`active_chunks_by_entity` would report.  Pairs are sorted
+    by packed ``(eid << 32) | chunk`` key, so each entity's pairs occupy
+    one contiguous index range and its active chunks come out ascending.
+
+    The edge table is the same graph :func:`build_adjacency` builds as a
+    dict of lists — each undirected edge appears in both endpoints' rows,
+    self-loops in one — but laid out as three flat arrays (``indptr``,
+    ``nbr``, ``wt``), so one placement builds it once with vectorized
+    passes and every conflict scan gathers edge slices without touching a
+    Python-level dict.
+    """
+
+    def __init__(self, profile: Profile):
+        num_edges = len(profile.trg)
+        num_entities = len(profile.entities)
+        # Flatten the ((eid, chunk), (eid, chunk)) keys with C-level
+        # iterators; a Python generator here dominates the build time.
+        flat = np.fromiter(
+            chain.from_iterable(chain.from_iterable(profile.trg)),
+            dtype=np.int64,
+            count=4 * num_edges,
+        ).reshape(num_edges, 4)
+        weights = np.fromiter(
+            profile.trg.values(), dtype=np.int64, count=num_edges
+        )
+        entity_ids = np.fromiter(
+            profile.entities, dtype=np.int64, count=num_entities
+        )
+
+        packed_a = (flat[:, 0] << _CHUNK_BITS) | flat[:, 1]
+        packed_b = (flat[:, 2] << _CHUNK_BITS) | flat[:, 3]
+        universe, inverse = np.unique(
+            np.concatenate((entity_ids << _CHUNK_BITS, packed_a, packed_b)),
+            return_inverse=True,
+        )
+        self.pair_eid = universe >> _CHUNK_BITS
+        self.pair_chunk = universe & ((1 << _CHUNK_BITS) - 1)
+        self.num_pairs = len(universe)
+
+        # Entity id -> contiguous [lo, hi) pair-index range.
+        uniq_eids, starts, counts = np.unique(
+            self.pair_eid, return_index=True, return_counts=True
+        )
+        self._entity_range: dict[int, tuple[int, int]] = {
+            int(eid): (int(lo), int(lo + n))
+            for eid, lo, n in zip(uniq_eids, starts, counts)
+        }
+
+        idx_a = inverse[num_entities : num_entities + num_edges]
+        idx_b = inverse[num_entities + num_edges :]
+        loop = idx_a == idx_b
+        src = np.concatenate((idx_a, idx_b[~loop]))
+        dst = np.concatenate((idx_b, idx_a[~loop]))
+        wt = np.concatenate((weights, weights[~loop]))
+        order = np.argsort(src, kind="stable")
+        self.nbr = dst[order]
+        self.wt = wt[order]
+        self.indptr = np.zeros(self.num_pairs + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(src, minlength=self.num_pairs), out=self.indptr[1:]
+        )
+
+    @classmethod
+    def for_profile(cls, profile: Profile) -> "TRGIndex":
+        """The profile's index, built once and memoized on the profile.
+
+        The index is a pure function of the (immutable-after-profiling)
+        TRG edge dict and entity set — it does not depend on cache
+        geometry — so experiment sweeps that place one profile under
+        several geometries share a single build.
+        """
+        index = getattr(profile, "_trg_index", None)
+        if index is None:
+            index = cls(profile)
+            profile._trg_index = index
+        return index
+
+    def pair_range(self, eid: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` pair-index range of one entity."""
+        return self._entity_range[eid]
+
+    def pair_ids(self, eid: int) -> np.ndarray:
+        """Pair indices of one entity's active chunks."""
+        lo, hi = self._entity_range[eid]
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def active_chunks(self, eid: int) -> tuple[int, ...]:
+        """Active chunks of one entity, ascending (chunk 0 always present)."""
+        lo, hi = self._entity_range[eid]
+        return tuple(int(c) for c in self.pair_chunk[lo:hi])
+
+
 def conflict_cost_scan(
     fixed: dict[PairKey, tuple[int, ...]],
     moving: dict[PairKey, tuple[int, ...]],
@@ -158,7 +260,8 @@ def conflict_cost_scan(
         if cached is None:
             start = span[0]
             cached = all(
-                line == (start + i) % num_lines for i, line in enumerate(span)
+                line % num_lines == (start + i) % num_lines
+                for i, line in enumerate(span)
             )
             interval_cache[span] = cached
         return cached
@@ -166,12 +269,14 @@ def conflict_cost_scan(
     width = 2
     deltas: list[tuple[int, int, int, int]] = []
     for moving_pair, moving_span in moving.items():
+        if not moving_span:
+            continue
         sm = len(moving_span)
         base = moving_span[0] + sm - 1
         moving_ok = is_interval(moving_span)
         for other_pair, weight in adjacency.get(moving_pair, ()):
             fixed_span = fixed.get(other_pair)
-            if fixed_span is None:
+            if not fixed_span:
                 continue
             if moving_ok and is_interval(fixed_span):
                 sf = len(fixed_span)

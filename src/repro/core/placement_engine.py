@@ -1,0 +1,250 @@
+"""Array-backed placement engine: vectorized Figure 2 conflict scans.
+
+The scalar placement path (:class:`~repro.core.compound.CompoundMerger` +
+:func:`~repro.core.cache_struct.conflict_cost_scan`) rebuilds each
+compound node's (entity, chunk) -> line-span map from dicts on every
+merge and walks the TRG edge lists in Python.  This module keeps the
+same state as flat numpy arrays over the :class:`~repro.core.\
+cache_struct.TRGIndex` pair universe and turns every conflict scan into
+gathers plus one scatter/double-cumsum over a reused buffer:
+
+* ``start_line[p]`` / ``span_len[p]`` — the circular line interval chunk
+  ``p`` occupies under its entity's current cache offset.  Spans produced
+  by :func:`~repro.core.cache_struct.chunk_line_span` are always
+  contiguous circular intervals, and every placement shift is a whole
+  number of cache lines, so a merge updates spans by a constant rotation
+  of ``start_line`` — span lengths never change after Phase 6 entry.
+* ``owner[p]`` — which compound node currently holds the pair, or the
+  sentinels :data:`FIXED` (the Phase 2 ``Stack_Const`` image) /
+  :data:`UNPLACED` (unpopular or non-placeable entities).  A scan masks
+  gathered neighbours by owner, so "fixed = node1 + Stack_Const" is one
+  vectorized comparison instead of a rebuilt dict union.
+
+Merging node2 into node1 only gathers the CSR rows of node2's pairs —
+O(deg(node2)) — because every edge that matters to the scan is incident
+to the moving side.  The cost vector is the exact integer trapezoid sum
+of the scalar path, so placements are bit-identical (asserted across all
+nine workloads by ``tests/test_placement_parity.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.config import CacheConfig
+from .cache_struct import TRGIndex
+from .compound import CompoundNode
+
+#: ``owner`` sentinel for pairs fixed by Phase 2 (stack + constants).
+FIXED = -2
+#: ``owner`` sentinel for pairs that belong to no compound node.
+UNPLACED = -1
+
+
+class ArrayPlacementEngine:
+    """Pair-span state over a :class:`TRGIndex` with vectorized scans.
+
+    One engine instance lives for a whole placement run: Phase 2 fixes
+    the constant and stack spans, Phase 6 registers the compound nodes
+    and drives the merge loop through :meth:`scan` / :meth:`shift`.
+
+    Args:
+        index: CSR adjacency over the profile's TRGplace edges.
+        config: Target cache geometry.
+        chunk_size: TRG chunk granularity in bytes.
+    """
+
+    def __init__(self, index: TRGIndex, config: CacheConfig, chunk_size: int):
+        self.index = index
+        self.config = config
+        self.chunk_size = chunk_size
+        self.num_lines = config.num_sets
+        n = index.num_pairs
+        self.start_line = np.zeros(n, dtype=np.int64)
+        self.span_len = np.ones(n, dtype=np.int64)
+        self.owner = np.full(n, UNPLACED, dtype=np.int64)
+        # Reused second-difference scatter buffer; grows monotonically.
+        self._second = np.zeros(4 * self.num_lines, dtype=np.int64)
+
+    # -- span bookkeeping --------------------------------------------------
+
+    def set_entity_span(self, eid: int, cache_offset: int, size: int) -> None:
+        """(Re)compute the line spans of one entity's active chunks.
+
+        Vectorized :func:`~repro.core.cache_struct.chunk_line_span` over
+        the entity's contiguous pair range.
+        """
+        lo, hi = self.index.pair_range(eid)
+        chunks = self.index.pair_chunk[lo:hi]
+        start_byte = cache_offset + chunks * self.chunk_size
+        end_byte = cache_offset + np.minimum(size, (chunks + 1) * self.chunk_size) - 1
+        np.maximum(end_byte, start_byte, out=end_byte)
+        first = start_byte // self.config.line_size
+        last = end_byte // self.config.line_size
+        self.start_line[lo:hi] = first % self.num_lines
+        self.span_len[lo:hi] = last - first + 1
+
+    def set_owner(self, pair_idx: np.ndarray, owner: int) -> None:
+        """Assign ``owner`` to a batch of pair indices."""
+        self.owner[pair_idx] = owner
+
+    def shift(self, pair_idx: np.ndarray, shift_lines: int) -> None:
+        """Rotate a batch of pair spans by a whole number of cache lines."""
+        self.start_line[pair_idx] = (
+            self.start_line[pair_idx] + shift_lines
+        ) % self.num_lines
+
+    # -- the Figure 2 scan -------------------------------------------------
+
+    def scan(
+        self,
+        moving: np.ndarray,
+        include_owner: int | None,
+        preferred_start: int,
+    ) -> tuple[int, int]:
+        """Min-conflict start line for the ``moving`` pairs.
+
+        The fixed side is every neighbour owned by :data:`FIXED`, plus
+        ``include_owner``'s pairs when given (the anchored node a merge
+        scans against).  Exactly reproduces
+        :func:`~repro.core.cache_struct.conflict_cost_scan`: same
+        integer trapezoid cost vector, same preferred-start scan-order
+        tie-breaking.
+
+        Returns:
+            ``(best_start_line, best_cost)``.
+        """
+        num_lines = self.num_lines
+        pref = preferred_start % num_lines
+        indptr = self.index.indptr
+        counts = indptr[moving + 1] - indptr[moving]
+        total = int(counts.sum())
+        if total == 0:
+            return pref, 0
+        # Multi-range gather of the moving pairs' CSR rows.
+        ends = np.cumsum(counts)
+        flat = np.arange(total, dtype=np.int64) + np.repeat(
+            indptr[moving] - (ends - counts), counts
+        )
+        nbrs = self.index.nbr[flat]
+        nbr_owner = self.owner[nbrs]
+        mask = nbr_owner == FIXED
+        if include_owner is not None:
+            mask |= nbr_owner == include_owner
+        if not mask.any():
+            return pref, 0
+        nbrs = nbrs[mask]
+        weights = self.index.wt[flat][mask]
+        src = np.repeat(moving, counts)[mask]
+
+        # Each (fixed, moving) edge is a trapezoid over the start offset;
+        # scatter its four second-difference deltas, double-cumsum, fold.
+        sm = self.span_len[src]
+        sf = self.span_len[nbrs]
+        starts = (self.start_line[nbrs] - (self.start_line[src] + sm - 1)) % num_lines
+        width = int(np.max(sf + sm))
+        rows = (num_lines + width) // num_lines + 1
+        need = rows * num_lines
+        if self._second.size < need:
+            self._second = np.zeros(need, dtype=np.int64)
+        second = self._second[:need]
+        second[:] = 0
+        idx = np.concatenate((starts, starts + sf, starts + sm, starts + sf + sm))
+        val = np.concatenate((weights, -weights, -weights, weights))
+        np.add.at(second, idx, val)
+        np.cumsum(second, out=second)
+        np.cumsum(second, out=second)
+        cost = second.reshape(rows, num_lines).sum(axis=0)
+        rotated = np.concatenate((cost[pref:], cost[:pref]))
+        step = int(np.argmin(rotated))
+        return (pref + step) % num_lines, int(rotated[step])
+
+
+class ArrayCompoundMerger:
+    """Drop-in :class:`~repro.core.compound.CompoundMerger` on the engine.
+
+    Same ``anchor``/``merge`` contract and bit-identical decisions, but
+    node pair spans live in the engine's flat arrays (updated by constant
+    shifts) and each node's Figure 2 initial scan point is maintained
+    incrementally instead of being recomputed from the offsets dict.
+
+    Args:
+        engine: Shared span/owner state; constants and the stack must
+            already be registered as :data:`FIXED`.
+        entity_sizes: Placement sizes per entity id (``max(size, 1)``).
+        nodes: The Phase 3/5 compound nodes at Phase 6 entry; their
+            current offsets seed the span arrays and scan points.
+    """
+
+    def __init__(
+        self,
+        engine: ArrayPlacementEngine,
+        entity_sizes: dict[int, int],
+        nodes: dict[int, CompoundNode],
+    ):
+        self.engine = engine
+        self.entity_sizes = entity_sizes
+        self.merge_count = 0
+        self.anchor_count = 0
+        line_size = engine.config.line_size
+        self._node_pairs: dict[int, np.ndarray] = {}
+        # Highest occupied line bound per node, in (unwrapped) lines:
+        # ``choose_intelligent_initial_start_point`` of Figure 2.  A merge
+        # shift of k lines adds exactly k, so the maximum is incremental.
+        self._node_high: dict[int, int] = {}
+        for nid, node in nodes.items():
+            pair_ids = []
+            high = 0
+            for eid, offset in node.offsets.items():
+                engine.set_entity_span(eid, offset, entity_sizes[eid])
+                pair_ids.append(engine.index.pair_ids(eid))
+                end = offset + entity_sizes[eid]
+                high = max(high, -(-end // line_size))
+            pairs = (
+                np.concatenate(pair_ids)
+                if pair_ids
+                else np.empty(0, dtype=np.int64)
+            )
+            engine.set_owner(pairs, nid)
+            self._node_pairs[nid] = pairs
+            self._node_high[nid] = high
+
+    def anchor(self, node: CompoundNode) -> int:
+        """Place an unanchored node against the ``Stack_Const`` image."""
+        engine = self.engine
+        pairs = self._node_pairs[node.node_id]
+        start, cost = engine.scan(pairs, None, preferred_start=0)
+        engine.shift(pairs, start)
+        shift = start * engine.config.line_size
+        for eid in node.offsets:
+            node.offsets[eid] += shift
+        self._node_high[node.node_id] += start
+        node.anchored = True
+        self.anchor_count += 1
+        return cost
+
+    def merge(self, node1: CompoundNode, node2: CompoundNode) -> int:
+        """Merge ``node2`` into ``node1`` at the least-conflict offset."""
+        if not node1.anchored:
+            self.anchor(node1)
+        engine = self.engine
+        nid1, nid2 = node1.node_id, node2.node_id
+        moving = self._node_pairs[nid2]
+        preferred = self._node_high[nid1] % engine.num_lines
+        start, cost = engine.scan(moving, nid1, preferred_start=preferred)
+        engine.shift(moving, start)
+        engine.set_owner(moving, nid1)
+        self._node_pairs[nid1] = np.concatenate(
+            (self._node_pairs[nid1], moving)
+        )
+        del self._node_pairs[nid2]
+        self._node_high[nid1] = max(
+            self._node_high[nid1], self._node_high.pop(nid2) + start
+        )
+        shift = start * engine.config.line_size
+        for eid, offset in node2.offsets.items():
+            node1.offsets[eid] = offset + shift
+        node2.offsets.clear()
+        node2.anchored = True
+        self.merge_count += 1
+        return cost

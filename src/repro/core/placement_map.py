@@ -34,7 +34,13 @@ class HeapDecision:
 
 @dataclass
 class PlacementStats:
-    """Diagnostics describing how the placement run went."""
+    """Diagnostics describing how the placement run went.
+
+    The ``*_seconds`` wall-clock fields are measurement metadata, not
+    placement decisions: they are excluded from equality so that two
+    engines producing the same placement compare equal, and they are not
+    serialized (old placement JSON files load unchanged).
+    """
 
     popular_entities: int = 0
     unpopular_entities: int = 0
@@ -44,6 +50,8 @@ class PlacementStats:
     heap_bins: int = 0
     collided_heap_names: int = 0
     total_conflict_cost: int = 0
+    place_seconds: float = field(default=0.0, compare=False)
+    merge_loop_seconds: float = field(default=0.0, compare=False)
 
 
 @dataclass

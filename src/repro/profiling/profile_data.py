@@ -96,8 +96,11 @@ class Profile:
         of the weights of the TRGplace edges that reference it."
 
         The batched profiler precomputes this dict from its edge columns
-        (:func:`~repro.profiling.batch.profile_trace`); when that cache is
-        present it is returned directly.
+        (:func:`~repro.profiling.batch.profile_trace`); a lazily computed
+        result is memoized the same way, so repeated placements over one
+        profile (e.g. an experiment sweep across cache geometries) pay
+        the TRG walk once.  Call :meth:`invalidate_derived` after
+        mutating :attr:`trg`.
         """
         cached = getattr(self, "_popularity", None)
         if cached is not None:
@@ -107,20 +110,28 @@ class Profile:
             totals[eid_a] = totals.get(eid_a, 0) + weight
             if eid_b != eid_a:
                 totals[eid_b] = totals.get(eid_b, 0) + weight
+        self._popularity = totals
         return totals
 
     def entity_affinity(self) -> dict[tuple[int, int], int]:
         """Entity-level affinity (:func:`~repro.profiling.trg.entity_affinity`).
 
-        Like :meth:`popularity`, served from the batched profiler's
-        precomputed cache when present.
+        Like :meth:`popularity`, memoized on first computation and served
+        precomputed when the profile came from the batched profiler.
         """
         cached = getattr(self, "_affinity", None)
         if cached is not None:
             return cached
         from .trg import entity_affinity
 
-        return entity_affinity(self.trg)
+        affinity = entity_affinity(self.trg)
+        self._affinity = affinity
+        return affinity
+
+    def invalidate_derived(self) -> None:
+        """Drop memoized popularity/affinity after mutating :attr:`trg`."""
+        self._popularity = None
+        self._affinity = None
 
     def entities_of(self, category: Category) -> list[Entity]:
         """All entities of one category, in entity-id order."""

@@ -33,6 +33,7 @@ from .resolvers import NaturalResolver
 #: Programs benchmarked by ``--quick`` (CI smoke) vs the full run.
 QUICK_PROGRAMS = ("deltablue", "espresso")
 DEFAULT_OUTPUT = "BENCH_pipeline.json"
+PLACEMENT_OUTPUT = "BENCH_placement.json"
 
 
 def _time_tables(programs: list[str]) -> dict[str, float]:
@@ -194,6 +195,123 @@ def run_bench(
             json.dump(result, handle, indent=2)
         result["output"] = output
     return result
+
+
+def run_placement_bench(
+    quick: bool = False,
+    output: str | None = PLACEMENT_OUTPUT,
+    rounds: int = 3,
+    programs: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Benchmark the placement pass: array engine vs the scalar baseline.
+
+    Profiles each program's training input once (from a recorded trace,
+    outside the timed region), then times ``CCDPPlacer.place()`` under
+    both engines.  Each (program, engine, round) gets a *fresh* profile
+    object so per-profile memos (TRG index, popularity, affinity) are
+    rebuilt inside the timed region — the ratio is a pure engine
+    comparison of the same cold-start work.  The two engines' placement
+    maps are asserted identical before anything is timed.
+
+    Returns the result dict (also written to ``output`` unless None).
+    """
+    from ..core.algorithm import CCDPPlacer
+    from ..experiments.common import all_programs, cached_trace, paper_cache
+    from ..profiling.batch import profile_trace
+
+    say = progress or (lambda _message: None)
+    if programs is None:
+        programs = list(QUICK_PROGRAMS) if quick else all_programs()
+    config = paper_cache()
+
+    def fresh_profile(name: str):
+        workload = make_workload(name)
+        trace = cached_trace(name, workload.train_input)
+        return workload, profile_trace(trace, cache_config=config)
+
+    arms: dict[str, dict[str, object]] = {
+        "scalar": {"per_program_s": {}},
+        "array": {"per_program_s": {}},
+    }
+    parity = True
+    for name in programs:
+        say(f"placement bench: {name}...")
+        workload, profile = fresh_profile(name)
+        maps = {}
+        for engine in ("scalar", "array"):
+            maps[engine] = CCDPPlacer(
+                profile_trace(
+                    cached_trace(name, workload.train_input), cache_config=config
+                ),
+                config,
+                place_heap=workload.place_heap,
+                engine=engine,
+            ).place()
+        parity = parity and maps["scalar"] == maps["array"]
+        for engine in ("scalar", "array"):
+            best = None
+            for _ in range(max(1, rounds)):
+                _workload, profile = fresh_profile(name)
+                start = time.perf_counter()
+                CCDPPlacer(
+                    profile, config, place_heap=workload.place_heap, engine=engine
+                ).place()
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            arms[engine]["per_program_s"][name] = best
+    for arm in arms.values():
+        arm["total_s"] = sum(arm["per_program_s"].values())
+
+    result: dict[str, object] = {
+        "quick": quick,
+        "programs": programs,
+        "rounds": rounds,
+        "cache": {
+            "size": config.size,
+            "line_size": config.line_size,
+            "associativity": config.associativity,
+        },
+        "arms": arms,
+        "parity": parity,
+        "speedup": (
+            arms["scalar"]["total_s"] / arms["array"]["total_s"]
+            if arms["array"]["total_s"]
+            else 0.0
+        ),
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+        result["output"] = output
+    return result
+
+
+def render_placement_bench(result: dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_placement_bench` result."""
+    scalar = result["arms"]["scalar"]
+    array = result["arms"]["array"]
+    lines = [
+        f"placement pass ({len(result['programs'])} programs, "
+        f"best of {result['rounds']} rounds):"
+    ]
+    for name in result["programs"]:
+        s = scalar["per_program_s"][name]
+        a = array["per_program_s"][name]
+        ratio = s / a if a else 0.0
+        lines.append(
+            f"  {name:<10} scalar {s * 1000:8.2f}ms"
+            f"   array {a * 1000:8.2f}ms   -> {ratio:5.2f}x"
+        )
+    lines.append(
+        f"  {'total':<10} scalar {scalar['total_s'] * 1000:8.2f}ms"
+        f"   array {array['total_s'] * 1000:8.2f}ms"
+        f"   -> {result['speedup']:.2f}x"
+    )
+    lines.append(f"  parity: {'identical maps' if result['parity'] else 'MISMATCH'}")
+    if "output" in result:
+        lines.append(f"wrote {result['output']}")
+    return "\n".join(lines)
 
 
 def render_bench(result: dict[str, object]) -> str:

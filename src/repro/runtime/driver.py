@@ -198,6 +198,7 @@ def build_placement(
     cache_config: CacheConfig | None = None,
     place_heap: bool | None = None,
     trace: TraceRecorder | None = None,
+    placement_engine: str = "array",
     **profiler_kwargs,
 ) -> tuple[Profile, PlacementMap]:
     """Profile the training input and run the placement algorithm."""
@@ -209,6 +210,7 @@ def build_placement(
         profile,
         cache_config=cache_config,
         place_heap=workload.place_heap if place_heap is None else place_heap,
+        engine=placement_engine,
     )
     return profile, placer.place()
 

@@ -39,6 +39,22 @@ class ExperimentSpec:
     engine: str = "auto"
 
 
+@dataclass(frozen=True)
+class PlacementSpec:
+    """One per-program placement job (profile + place), picklable.
+
+    ``placement_engine`` selects the Phase 6 conflict-scan engine —
+    ``"array"`` (vectorized, the default) or ``"scalar"`` (the reference
+    baseline kept for parity testing).
+    """
+
+    workload: str
+    train_input: str | None = None
+    cache_config: CacheConfig | None = None
+    place_heap: bool | None = None
+    placement_engine: str = "array"
+
+
 def default_jobs() -> int:
     """Worker count when none is given: one per available CPU."""
     return os.cpu_count() or 1
@@ -79,3 +95,41 @@ def run_experiments(
         return [run_spec(spec) for spec in specs]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(run_spec, specs))
+
+
+def run_placement_spec(spec: PlacementSpec):
+    """Profile and place one program (also the worker entry point).
+
+    Returns the :class:`~repro.core.placement_map.PlacementMap` only —
+    the profile stays in the worker, keeping the pickled result small.
+    """
+    from ..workloads import make_workload
+    from .driver import build_placement
+
+    workload = make_workload(spec.workload)
+    _profile, placement = build_placement(
+        workload,
+        spec.train_input,
+        spec.cache_config,
+        place_heap=spec.place_heap,
+        placement_engine=spec.placement_engine,
+    )
+    return placement
+
+
+def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
+    """Run per-program placement jobs, fanning out when ``jobs > 1``.
+
+    Placements are embarrassingly parallel across programs — each job
+    profiles its own training trace and runs the placement pipeline.
+    Results are returned in spec order.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    jobs = default_jobs() if jobs is None else jobs
+    jobs = max(1, min(jobs, len(specs)))
+    if jobs == 1:
+        return [run_placement_spec(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(run_placement_spec, specs))

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.cache.config import CacheConfig
 from repro.core.cache_struct import (
     CacheImage,
+    TRGIndex,
     active_chunks_by_entity,
     build_adjacency,
     chunk_line_span,
@@ -137,6 +139,155 @@ class TestConflictCostScan:
         )
         assert best_cost == min(brute(s) for s in range(num_lines))
         assert brute(best_start) == best_cost
+
+
+class TestTRGIndex:
+    def _profile(self) -> Profile:
+        profile = Profile(chunk_size=256)
+        profile.entities[1] = Entity(1, Category.GLOBAL, "g:a", size=512)
+        profile.entities[2] = Entity(2, Category.GLOBAL, "g:b", size=512)
+        profile.entities[3] = Entity(3, Category.GLOBAL, "g:c", size=64)
+        profile.trg = {
+            ((1, 0), (2, 0)): 10,
+            ((1, 1), (2, 0)): 4,
+            ((2, 0), (2, 0)): 7,  # self-loop
+        }
+        return profile
+
+    def test_active_chunks_match_dict_helper(self):
+        profile = self._profile()
+        index = TRGIndex(profile)
+        expected = active_chunks_by_entity(profile)
+        for eid in profile.entities:
+            assert index.active_chunks(eid) == expected[eid]
+
+    def test_csr_rows_match_build_adjacency(self):
+        profile = self._profile()
+        index = TRGIndex(profile)
+        adjacency = build_adjacency(profile)
+        pair_of = {
+            idx: (int(index.pair_eid[idx]), int(index.pair_chunk[idx]))
+            for idx in range(index.num_pairs)
+        }
+        for idx in range(index.num_pairs):
+            lo, hi = int(index.indptr[idx]), int(index.indptr[idx + 1])
+            row = sorted(
+                (pair_of[int(nbr)], int(w))
+                for nbr, w in zip(index.nbr[lo:hi], index.wt[lo:hi])
+            )
+            assert row == sorted(adjacency.get(pair_of[idx], []))
+
+    def test_entity_pair_ranges_are_contiguous_and_sorted(self):
+        index = TRGIndex(self._profile())
+        lo, hi = index.pair_range(1)
+        assert list(index.pair_ids(1)) == list(range(lo, hi))
+        assert list(index.pair_chunk[lo:hi]) == sorted(index.pair_chunk[lo:hi])
+
+    def test_for_profile_memoizes(self):
+        profile = self._profile()
+        assert TRGIndex.for_profile(profile) is TRGIndex.for_profile(profile)
+
+    def test_empty_trg_still_covers_chunk_zero(self):
+        profile = Profile(chunk_size=256)
+        profile.entities[5] = Entity(5, Category.GLOBAL, "g:solo", size=8)
+        index = TRGIndex(profile)
+        assert index.active_chunks(5) == (0,)
+        assert len(index.nbr) == 0
+
+
+def _brute_scan(fixed, moving, adjacency, num_lines, preferred):
+    """O(lines x edges x span^2) reference with Figure 2 tie-breaking."""
+
+    def cost_at(start: int) -> int:
+        total = 0
+        for mpair, mlines in moving.items():
+            for opair, weight in adjacency.get(mpair, ()):
+                flines = fixed.get(opair, ())
+                for ml in mlines:
+                    for fl in flines:
+                        if (ml + start) % num_lines == fl % num_lines:
+                            total += weight
+        return total
+
+    best_start = preferred % num_lines
+    best_cost = cost_at(best_start)
+    for step in range(1, num_lines):
+        start = (preferred + step) % num_lines
+        cost = cost_at(start)
+        if cost < best_cost:  # strict improvement, scan order from preferred
+            best_cost, best_start = cost, start
+    return best_start, best_cost
+
+
+class TestScanFallback:
+    """Satellite regressions: arbitrary span tuples in the fallback path."""
+
+    def test_empty_moving_span_is_skipped(self):
+        fixed = {(1, 0): (0, 1)}
+        moving = {(2, 0): (), (2, 1): (5,)}
+        adjacency = {(2, 0): [((1, 0), 9)], (2, 1): [((1, 0), 9)]}
+        start, cost = conflict_cost_scan(fixed, moving, adjacency, 32)
+        assert cost == 0
+        assert start == _brute_scan(fixed, moving, adjacency, 32, 0)[0]
+
+    def test_empty_fixed_span_is_skipped(self):
+        fixed = {(1, 0): ()}
+        moving = {(2, 0): (0,)}
+        adjacency = {(2, 0): [((1, 0), 9)]}
+        assert conflict_cost_scan(fixed, moving, adjacency, 32) == (0, 0)
+
+    def test_unwrapped_lines_match_wrapped_equivalent(self):
+        # (30, 31, 32) is the same circular interval as (30, 31, 0) on a
+        # 32-line cache; both must produce identical scan results.
+        moving = {(2, 0): (0, 1)}
+        adjacency = {(2, 0): [((1, 0), 5)]}
+        wrapped = conflict_cost_scan(
+            {(1, 0): (30, 31, 0)}, moving, adjacency, 32, preferred_start=3
+        )
+        unwrapped = conflict_cost_scan(
+            {(1, 0): (30, 31, 32)}, moving, adjacency, 32, preferred_start=3
+        )
+        assert wrapped == unwrapped
+
+    def test_duplicate_lines_count_twice(self):
+        fixed = {(1, 0): (4, 4)}
+        moving = {(2, 0): (0,)}
+        adjacency = {(2, 0): [((1, 0), 3)]}
+        start, cost = conflict_cost_scan(
+            fixed, moving, adjacency, 8, preferred_start=4
+        )
+        assert (start, cost) == (5, 0)
+        full = {(1, 0): tuple(range(8)) + (4, 4)}
+        _start, cost = conflict_cost_scan(full, moving, adjacency, 8)
+        assert cost == 3  # a free line still beats the doubled line 4
+
+
+_span = st.lists(st.integers(0, 63), min_size=0, max_size=5).map(tuple)
+
+
+@given(
+    st.dictionaries(
+        st.tuples(st.integers(1, 3), st.integers(0, 2)), _span,
+        min_size=1, max_size=4,
+    ),
+    st.dictionaries(
+        st.tuples(st.just(9), st.integers(0, 3)), _span,
+        min_size=1, max_size=3,
+    ),
+    st.integers(0, 31),
+)
+@settings(max_examples=120, deadline=None)
+def test_fallback_scan_equals_bruteforce(fixed, moving, preferred):
+    """Wrapped, unwrapped, duplicated, and empty spans all match brute force."""
+    adjacency = {}
+    weight = 1
+    for mpair in moving:
+        adjacency[mpair] = [(fpair, weight) for fpair in fixed]
+        weight += 2
+    result = conflict_cost_scan(
+        fixed, moving, adjacency, 32, preferred_start=preferred
+    )
+    assert result == _brute_scan(fixed, moving, adjacency, 32, preferred)
 
 
 @given(

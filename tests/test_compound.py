@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.cache.config import CacheConfig
-from repro.core.cache_struct import CacheImage
+from repro.core.cache_struct import CacheImage, TRGIndex, chunk_line_span
 from repro.core.compound import CompoundMerger, CompoundNode
+from repro.core.placement_engine import (
+    FIXED,
+    ArrayCompoundMerger,
+    ArrayPlacementEngine,
+)
+from repro.profiling.profile_data import Entity, Profile
+from repro.trace.events import Category
 
 CONFIG = CacheConfig(1024, 32, 1)  # 32 lines
 
@@ -110,3 +119,108 @@ class TestMerge:
         merger = make_merger(sizes={1: 128, 2: 256, 3: 256})
         node = CompoundNode(node_id=0, offsets={1: 64})
         assert merger._initial_scan_point(node) == 6  # (64+128)/32
+
+
+def build_merger(kind, node_offsets, trg=None, sizes=None, fixed=None):
+    """Build equivalent mergers under either placement engine.
+
+    Args:
+        kind: ``"scalar"`` (:class:`CompoundMerger`) or ``"array"``
+            (:class:`ArrayCompoundMerger`).
+        node_offsets: node id -> {entity id -> relative byte offset}.
+        trg: ((eid, chunk), (eid, chunk)) -> weight edges.
+        sizes: entity id -> placement size (node entities).
+        fixed: entity id -> (cache_offset, size) spans owned by the
+            ``Stack_Const`` image.
+    """
+    trg = trg or {}
+    sizes = sizes or {1: 256, 2: 256, 3: 256}
+    fixed = fixed or {}
+    nodes = {
+        nid: CompoundNode(node_id=nid, offsets=dict(offs))
+        for nid, offs in node_offsets.items()
+    }
+    if kind == "array":
+        profile = Profile(chunk_size=256)
+        every = dict(sizes)
+        every.update({eid: size for eid, (_off, size) in fixed.items()})
+        for eid, size in sorted(every.items()):
+            profile.entities[eid] = Entity(
+                eid, Category.GLOBAL, f"g:{eid}", size=size
+            )
+        profile.trg = dict(trg)
+        engine = ArrayPlacementEngine(TRGIndex(profile), CONFIG, 256)
+        for eid, (offset, size) in fixed.items():
+            engine.set_entity_span(eid, offset, size)
+            engine.set_owner(engine.index.pair_ids(eid), FIXED)
+        return ArrayCompoundMerger(engine, dict(sizes), nodes), nodes
+    adjacency: dict = {}
+    for (pair_a, pair_b), weight in trg.items():
+        adjacency.setdefault(pair_a, []).append((pair_b, weight))
+        if pair_a != pair_b:
+            adjacency.setdefault(pair_b, []).append((pair_a, weight))
+    image = CacheImage(CONFIG, 256)
+    for eid, (offset, size) in fixed.items():
+        for chunk in range(-(-size // 256)):
+            image.pairs[(eid, chunk)] = chunk_line_span(
+                offset, size, chunk, 256, CONFIG
+            )
+    merger = CompoundMerger(
+        CONFIG,
+        256,
+        image,
+        adjacency,
+        dict(sizes),
+        {eid: (0,) for eid in sizes},
+    )
+    return merger, nodes
+
+
+@pytest.mark.parametrize("kind", ("scalar", "array"))
+class TestFigure2TieBreaking:
+    """Satellite: anchor/merge start-point and strict-improvement rules."""
+
+    def test_zero_cost_anchor_stays_at_preferred_line_zero(self, kind):
+        # No edges: every start costs 0.  Strict improvement ("<", never
+        # "<=") keeps the preferred start, so the node must not move.
+        merger, nodes = build_merger(kind, {0: {1: 64}})
+        assert merger.anchor(nodes[0]) == 0
+        assert nodes[0].offsets == {1: 64}
+        assert nodes[0].anchored
+
+    def test_zero_cost_merge_packs_densely(self, kind):
+        # Figure 2's intelligent initial start point: with no conflicts,
+        # node2 lands exactly past node1's extent, not back at line 0.
+        merger, nodes = build_merger(kind, {0: {1: 0}, 1: {2: 0}})
+        assert merger.merge(nodes[0], nodes[1]) == 0
+        assert nodes[0].offsets == {1: 0, 2: 256}  # 8 lines x 32B
+        assert not nodes[1].offsets
+
+    def test_all_equal_costs_keep_preferred_start(self, kind):
+        # A fixed entity covering all 32 lines conflicts with entity 2
+        # at every one of the 32 candidate starts.  With nothing to
+        # improve on, the scan keeps the dense-packing start.
+        merger, nodes = build_merger(
+            kind,
+            {0: {1: 0}, 1: {2: 0}},
+            trg={((2, 0), (9, chunk)): 4 for chunk in range(4)},
+            fixed={9: (0, 1024)},
+        )
+        cost = merger.merge(nodes[0], nodes[1])
+        assert cost == 4 * 8  # every moving line conflicts at weight 4
+        assert nodes[0].offsets[2] == 256
+
+    def test_first_zero_cost_start_in_scan_order_wins(self, kind):
+        # node1 occupies lines 0-7, so the scan starts at line 8.  The
+        # fixed image conflicts with entity 2 on lines 8-10; the first
+        # zero-cost start in scan order is line 11 and ties later in the
+        # scan (12, 13, ...) must not displace it.
+        merger, nodes = build_merger(
+            kind,
+            {0: {1: 0}, 1: {2: 0}},
+            trg={((2, 0), (9, 0)): 7},
+            sizes={1: 256, 2: 32},
+            fixed={9: (256, 96)},
+        )
+        assert merger.merge(nodes[0], nodes[1]) == 0
+        assert nodes[0].offsets[2] == 11 * 32
