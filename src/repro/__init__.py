@@ -13,7 +13,9 @@ A complete, trace-driven reproduction of the paper's system:
 * a classifying cache simulator (:mod:`repro.cache`) and the replay
   machinery (:mod:`repro.runtime`);
 * experiment harnesses for every table and figure in the paper's
-  evaluation (:mod:`repro.experiments`).
+  evaluation (:mod:`repro.experiments`);
+* run observability — timing spans, counters, structured run reports,
+  and conservation invariants (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -26,6 +28,7 @@ Quickstart::
 
 from .cache import CacheConfig, CacheSimulator, CacheStats, PAPER_CACHE
 from .core import CCDPPlacer, HeapDecision, PlacementMap
+from .obs import InvariantError, RunReport, Telemetry, run_report
 from .profiling import Profile, ProfilerSink
 from .runtime import (
     CCDPResolver,
@@ -38,7 +41,7 @@ from .runtime import (
     profile_workload,
     run_experiment,
 )
-from .trace import Category, StatsSink, TraceSink, WorkloadStats
+from .trace import Category, StatsSink, TraceError, TraceSink, WorkloadStats
 from .vm import Program, Ref
 from .workloads import Workload, WorkloadInput, make_workload, workload_names
 
@@ -53,6 +56,7 @@ __all__ = [
     "CCDPResolver",
     "ExperimentResult",
     "HeapDecision",
+    "InvariantError",
     "NaturalResolver",
     "PAPER_CACHE",
     "PlacementMap",
@@ -61,7 +65,10 @@ __all__ = [
     "Program",
     "RandomResolver",
     "Ref",
+    "RunReport",
     "StatsSink",
+    "Telemetry",
+    "TraceError",
     "TraceSink",
     "Workload",
     "WorkloadInput",
@@ -72,5 +79,6 @@ __all__ = [
     "measure",
     "profile_workload",
     "run_experiment",
+    "run_report",
     "workload_names",
 ]

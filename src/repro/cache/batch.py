@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import invariants
+from ..obs import telemetry as obs
 from ..trace.events import Category
 from .config import CacheConfig
 from .simulator import CacheSimulator, CacheStats
@@ -246,6 +248,8 @@ class BatchCacheSimulator:
     ) -> None:
         """Simulate one chunk of (addr, size, obj_id, category, is_store)."""
         self._stats = None
+        obs.count("sim.events", len(addr))
+        obs.count("sim.chunks")
         if self._kernel is not None:
             self._kernel.consume(addr, size, obj_id, category, is_store)
             if self._shadow is None:
@@ -274,6 +278,7 @@ class BatchCacheSimulator:
         if self._stats is None:
             stats = CacheStats()
             self._kernel.fill_stats(stats)
+            invariants.maybe_check_cache_stats(stats, context="batched kernel")
             self._stats = stats
         return self._stats
 

@@ -40,6 +40,17 @@ class CacheStats:
     conflict: int = 0
     writebacks: int = 0
 
+    def check_conservation(self) -> None:
+        """Assert the additive miss-attribution invariants.
+
+        Raises :class:`~repro.obs.invariants.InvariantError` when any
+        per-category/per-object sum disagrees with its total (see
+        :mod:`repro.obs.invariants`).
+        """
+        from ..obs.invariants import check_cache_stats
+
+        check_cache_stats(self)
+
     @property
     def memory_traffic_blocks(self) -> int:
         """Blocks exchanged with the next level: fills plus writebacks.

@@ -17,6 +17,9 @@ Commands mirror the paper's workflow:
   scalar baseline and write ``BENCH_pipeline.json``; ``--placement``
   times the placement pass (array vs scalar conflict-scan engine) and
   writes ``BENCH_placement.json``.
+* ``report``   — run one workload's full pipeline under telemetry and
+  emit a structured run report: span tree, counters, per-category miss
+  attribution with conservation checks (``-o`` writes the JSON).
 """
 
 from __future__ import annotations
@@ -274,6 +277,27 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from .obs import run_report
+
+    report = run_report(
+        args.workload,
+        same_input=args.same_input,
+        include_random=args.random,
+        cache_config=args.cache,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"run report -> {args.output}")
+        print(report.render())
+    else:
+        print(report.to_json())
+        print(report.render(), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -365,6 +389,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report (default BENCH_pipeline.json, "
              "or BENCH_placement.json with --placement)",
     )
+
+    p_report = sub.add_parser(
+        "report",
+        help="instrumented pipeline run: JSON run report + telemetry tree",
+    )
+    p_report.add_argument(
+        "--workload", required=True, choices=workload_names()
+    )
+    p_report.add_argument(
+        "--same-input", action="store_true",
+        help="measure the training input (Table 2 mode)",
+    )
+    p_report.add_argument(
+        "--random", action="store_true", help="also measure random placement"
+    )
+    p_report.add_argument(
+        "-o", "--output", default=None,
+        help="write the JSON report here (default: print to stdout)",
+    )
+    _add_cache_option(p_report)
     return parser
 
 
@@ -378,6 +422,7 @@ _COMMANDS = {
     "summary": cmd_summary,
     "tables": cmd_tables,
     "bench": cmd_bench,
+    "report": cmd_report,
 }
 
 

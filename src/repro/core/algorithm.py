@@ -23,11 +23,11 @@ Phase 5 only fuses nodes and sums their edges — and avoids re-coalescing.
 from __future__ import annotations
 
 import heapq
-import time
 
 import numpy as np
 
 from ..cache.config import CacheConfig
+from ..obs import telemetry as obs
 from ..memory.layout import DATA_BASE, STACK_BASE, TEXT_BASE
 from ..memory.static_layout import layout_sequential
 from ..profiling.profile_data import Profile, STACK_ENTITY_ID
@@ -100,34 +100,66 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
     # -- public entry point --------------------------------------------------
 
     def place(self) -> PlacementMap:
-        """Execute Phases 0-8 and return the placement map."""
-        began = time.perf_counter()
+        """Execute Phases 0-8 and return the placement map.
+
+        Each phase runs under a telemetry span (``place.phase0`` ..
+        ``place.phase8``); the legacy ``PlacementStats.place_seconds`` /
+        ``merge_loop_seconds`` fields are derived from the span tree.
+        When no registry is installed a private one is used, so the
+        timing fields work standalone too.
+        """
+        registry = obs.current()
+        if registry is None:
+            with obs.use(obs.Telemetry()) as registry:
+                return self._place(registry)
+        return self._place(registry)
+
+    def _place(self, registry: obs.Telemetry) -> PlacementMap:
         profile = self.profile
-        # The entity-level affinity collapse of TRGplace feeds Phases 1,
-        # 4, 5 and 7; derive it once per run (served precomputed when the
-        # profile came from the batched profiler).
-        self._affinity = profile.entity_affinity()
-        popularity = profile.popularity()
-        popular = self._split_popular_unpopular(popularity)          # PHASE 0
-        heap_prep = self._preprocess_heap(popular)                   # PHASE 1
-        stack_const, stack_offset = self._place_stack_and_constants()  # PHASE 2
-        nodes, node_of_entity = self._create_compound_nodes(
-            popular, heap_prep
-        )                                                            # PHASE 3
-        packed_groups = self._pack_small_globals(
-            popular, nodes, node_of_entity
-        )                                                            # PHASE 5
-        select_edges = self._create_trgselect(node_of_entity)        # PHASE 4
-        merge_began = time.perf_counter()
-        self._merge_loop(nodes, node_of_entity, select_edges, stack_const)  # PHASE 6
-        self.stats.merge_loop_seconds = time.perf_counter() - merge_began
-        layout = self._final_global_layout(
-            popular, nodes, node_of_entity, packed_groups, popularity
-        )                                                            # PHASE 7
-        placement = self._write_placement_map(
-            layout, stack_offset, heap_prep, nodes, node_of_entity
-        )                                                            # PHASE 8
-        self.stats.place_seconds = time.perf_counter() - began
+        with registry.span("place", engine=self.engine) as place_span:
+            with registry.span("place.prep"):
+                # The entity-level affinity collapse of TRGplace feeds
+                # Phases 1, 4, 5 and 7; derive it once per run (served
+                # precomputed when the profile came from the batched
+                # profiler).
+                self._affinity = profile.entity_affinity()
+                popularity = profile.popularity()
+            with registry.span("place.phase0"):
+                popular = self._split_popular_unpopular(popularity)
+            with registry.span("place.phase1"):
+                heap_prep = self._preprocess_heap(popular)
+            with registry.span("place.phase2"):
+                stack_const, stack_offset = self._place_stack_and_constants()
+            with registry.span("place.phase3"):
+                nodes, node_of_entity = self._create_compound_nodes(
+                    popular, heap_prep
+                )
+            # Phase 5 runs before Phase 4 here; see the module docstring.
+            with registry.span("place.phase5"):
+                packed_groups = self._pack_small_globals(
+                    popular, nodes, node_of_entity
+                )
+            with registry.span("place.phase4"):
+                select_edges = self._create_trgselect(node_of_entity)
+            with registry.span("place.phase6") as merge_span:
+                self._merge_loop(
+                    nodes, node_of_entity, select_edges, stack_const
+                )
+            with registry.span("place.phase7"):
+                layout = self._final_global_layout(
+                    popular, nodes, node_of_entity, packed_groups, popularity
+                )
+            with registry.span("place.phase8"):
+                placement = self._write_placement_map(
+                    layout, stack_offset, heap_prep, nodes, node_of_entity
+                )
+        self.stats.merge_loop_seconds = merge_span.seconds
+        self.stats.place_seconds = place_span.seconds
+        if self.engine == "array":
+            scans = self._array_engine.scan_count
+        else:
+            scans = self._scalar_scan_count
+        obs.count("place.conflict_scans", scans)
         return placement
 
     # -- PHASE 0 ---------------------------------------------------------------
@@ -200,6 +232,7 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
         stack = profile.entities[STACK_ENTITY_ID]
         moving = CacheImage(config, profile.chunk_size)
         moving.add_entity(stack.eid, max(stack.size, 1), 0, active.get(stack.eid, (0,)))
+        self._scalar_scan_count = 1
         start_line, _cost = conflict_cost_scan(
             image.pairs, moving.pairs, adjacency, config.num_sets
         )
@@ -398,6 +431,8 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
             incident.setdefault(edge[0], set()).add(edge)
             incident.setdefault(edge[1], set()).add(edge)
         alias: dict[int, int] = {}
+        iterations = 0
+        stale_skips = 0
 
         def resolve(nid: int) -> int:
             while nid in alias:
@@ -405,12 +440,15 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
             return nid
 
         while heap:
+            iterations += 1
             neg_weight, nid_a, nid_b = heapq.heappop(heap)
             nid_a, nid_b = resolve(nid_a), resolve(nid_b)
             if nid_a == nid_b:
+                stale_skips += 1
                 continue
             pair = (nid_a, nid_b) if nid_a <= nid_b else (nid_b, nid_a)
             if select_edges.get(pair) != -neg_weight:
+                stale_skips += 1
                 continue  # stale heap entry
             del select_edges[pair]
             keeper, absorbed = pair
@@ -447,6 +485,12 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
                 self.stats.total_conflict_cost += merger.anchor(node)
         self.stats.merges = merger.merge_count
         self.stats.anchors = merger.anchor_count
+        if self.engine == "scalar":
+            self._scalar_scan_count += merger.scan_count
+        obs.count("place.merge_loop.iterations", iterations)
+        obs.count("place.merge_loop.stale_skips", stale_skips)
+        obs.count("place.merges", merger.merge_count)
+        obs.count("place.anchors", merger.anchor_count)
 
     # -- PHASE 7 ---------------------------------------------------------------
 

@@ -73,6 +73,7 @@ class CompoundMerger:
         self.active_chunks = active_chunks
         self.merge_count = 0
         self.anchor_count = 0
+        self.scan_count = 0
 
     # -- helpers -----------------------------------------------------------
 
@@ -95,6 +96,7 @@ class CompoundMerger:
         constants".
         """
         moving = self._node_pairs(node)
+        self.scan_count += 1
         start, cost = conflict_cost_scan(
             self.stack_const.pairs,
             moving,
@@ -123,6 +125,7 @@ class CompoundMerger:
         fixed.update(self.stack_const.pairs)
         moving = self._node_pairs(node2)
         preferred = self._initial_scan_point(node1)
+        self.scan_count += 1
         start, cost = conflict_cost_scan(
             fixed,
             moving,

@@ -63,6 +63,7 @@ class ArrayPlacementEngine:
         self.start_line = np.zeros(n, dtype=np.int64)
         self.span_len = np.ones(n, dtype=np.int64)
         self.owner = np.full(n, UNPLACED, dtype=np.int64)
+        self.scan_count = 0
         # Reused second-difference scatter buffer; grows monotonically.
         self._second = np.zeros(4 * self.num_lines, dtype=np.int64)
 
@@ -114,6 +115,7 @@ class ArrayPlacementEngine:
         Returns:
             ``(best_start_line, best_cost)``.
         """
+        self.scan_count += 1
         num_lines = self.num_lines
         pref = preferred_start % num_lines
         indptr = self.index.indptr

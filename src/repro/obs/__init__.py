@@ -1,0 +1,45 @@
+"""Observability for pipeline runs: spans, counters, reports, invariants.
+
+Zero-dependency measurement substrate for the profile→place→simulate
+pipeline.  Library code reports to the *current* per-run
+:class:`Telemetry` registry through the cheap module-level helpers
+(:func:`span` / :func:`count` / :func:`gauge`), which no-op when no
+registry is installed; drivers install one with :func:`use` and export it
+as a :class:`RunReport`.  Conservation invariants over the resulting
+statistics live in :mod:`repro.obs.invariants` and are checked on every
+instrumented run.
+"""
+
+from .invariants import (
+    InvariantError,
+    cache_stats_failures,
+    check_cache_stats,
+    check_workload_stats,
+    enabled,
+    maybe_check_cache_stats,
+    maybe_check_workload_stats,
+    set_enabled,
+    workload_stats_failures,
+)
+from .report import RunReport, run_report
+from .telemetry import Span, Telemetry, count, current, gauge, span, use
+
+__all__ = [
+    "InvariantError",
+    "RunReport",
+    "Span",
+    "Telemetry",
+    "cache_stats_failures",
+    "check_cache_stats",
+    "check_workload_stats",
+    "count",
+    "current",
+    "enabled",
+    "gauge",
+    "maybe_check_cache_stats",
+    "maybe_check_workload_stats",
+    "run_report",
+    "set_enabled",
+    "span",
+    "use",
+]

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..cache.config import CacheConfig
 from ..naming.xor import DEFAULT_NAME_DEPTH
+from ..obs import telemetry as obs
 from ..trace.buffer import (
     TraceRecorder,
     _OP_ALLOC,
@@ -231,6 +232,7 @@ def profile_trace(
         move_to_end = queue.move_to_end
         popitem = queue.popitem
         queued_bytes = 0
+        evictions = 0
         threshold = sink._trg.queue_threshold
         # The walk consumes queue entries newer than the hit key;
         # ``takewhile(key.__ne__, ...)`` into ``extend`` keeps the whole
@@ -253,6 +255,9 @@ def profile_trace(
             while queued_bytes > threshold and len(queue) > 1:
                 _evicted, evicted_bytes = popitem(last=False)
                 queued_bytes -= evicted_bytes
+                evictions += 1
+        sink._trg.evictions = evictions
+        obs.count("profile.kept_boundaries", m)
 
         if walked:
             # One edge increment per walked pair.  Append order is the

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..cache.config import CacheConfig
 from ..naming.xor import DEFAULT_NAME_DEPTH, NameUniverse
+from ..obs import telemetry as obs
 from ..trace.events import Category, ObjectInfo, STACK_OBJECT_ID
 from ..trace.sinks import TraceSink
 from .profile_data import Entity, Profile, STACK_ENTITY_ID
@@ -138,6 +139,11 @@ class ProfilerSink(TraceSink):
     def on_end(self) -> None:
         self._profile.trg = self._trg.edges
         self._profile.total_accesses = self._clock
+        obs.count("profile.events", self._clock)
+        obs.count("profile.trg_edges", len(self._trg.edges))
+        # Alternate TRG builders (the parity suite swaps one in) may not
+        # track evictions; report zero rather than requiring the field.
+        obs.count("profile.queue_evictions", getattr(self._trg, "evictions", 0))
 
     # -- result ---------------------------------------------------------------
 

@@ -52,6 +52,8 @@ class TRGBuilder:
         self.queue_threshold = queue_threshold
         self.chunk_size = chunk_size
         self.edges: dict[EdgeKey, int] = {}
+        #: Entries dropped from the queue tail over the threshold bound.
+        self.evictions = 0
         #: key -> entry_bytes, ordered oldest (first) to most recent (last).
         self._queue: OrderedDict[PairKey, int] = OrderedDict()
         self._front: PairKey | None = None
@@ -91,6 +93,7 @@ class TRGBuilder:
         while self._queued_bytes > self.queue_threshold and len(queue) > 1:
             _evicted, evicted_bytes = queue.popitem(last=False)
             self._queued_bytes -= evicted_bytes
+            self.evictions += 1
 
     @property
     def queue_length(self) -> int:

@@ -15,6 +15,8 @@ from typing import Callable
 
 from ..analysis.paging import PageTracker, PagingSummary
 from ..cache.batch import BatchCacheSimulator
+from ..obs import invariants
+from ..obs import telemetry as obs
 from ..cache.config import CacheConfig
 from ..cache.simulator import CacheSimulator, CacheStats
 from ..core.algorithm import CCDPPlacer
@@ -83,22 +85,23 @@ def profile_workload(
     profiler (:func:`~repro.profiling.batch.profile_trace`) instead of
     re-running the workload; the result is identical.
     """
-    if trace is not None:
-        return profile_trace(
-            trace,
+    with obs.span("profile", input=input_name):
+        if trace is not None:
+            return profile_trace(
+                trace,
+                cache_config=cache_config,
+                chunk_size=chunk_size,
+                name_depth=name_depth,
+                queue_threshold=queue_threshold,
+            )
+        sink = ProfilerSink(
             cache_config=cache_config,
             chunk_size=chunk_size,
             name_depth=name_depth,
             queue_threshold=queue_threshold,
         )
-    sink = ProfilerSink(
-        cache_config=cache_config,
-        chunk_size=chunk_size,
-        name_depth=name_depth,
-        queue_threshold=queue_threshold,
-    )
-    workload.run(sink, input_name)
-    return sink.profile
+        workload.run(sink, input_name)
+        return sink.profile
 
 
 def collect_stats(
@@ -133,19 +136,22 @@ def measure_trace(
     chunk-wise through the batched cache engine (and page tracker).
     Results equal the scalar :func:`measure` of the same run.
     """
-    engine = BatchCacheSimulator(cache_config, classify=classify, parity=parity)
-    pages = PageTracker() if track_pages else None
-    addr = trace.resolve(resolver)
-    obj, _offset, size, cat, store = trace.columns()
-    for start in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
-        chunk = slice(start, start + DEFAULT_CHUNK_EVENTS)
-        engine.consume(addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk])
-        if pages is not None:
-            pages.touch_batch(addr[chunk], size[chunk])
-    if parity:
-        engine.assert_parity()
-    paging = PagingSummary.from_tracker(pages) if pages else None
-    return MeasureResult(cache=engine.stats, paging=paging)
+    with obs.span("simulate", events=trace.events):
+        engine = BatchCacheSimulator(cache_config, classify=classify, parity=parity)
+        pages = PageTracker() if track_pages else None
+        addr = trace.resolve(resolver)
+        obj, _offset, size, cat, store = trace.columns()
+        for start in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
+            chunk = slice(start, start + DEFAULT_CHUNK_EVENTS)
+            engine.consume(addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk])
+            if pages is not None:
+                pages.touch_batch(addr[chunk], size[chunk])
+        if parity:
+            engine.assert_parity()
+        paging = PagingSummary.from_tracker(pages) if pages else None
+        stats = engine.stats
+    invariants.maybe_check_cache_stats(stats, context="measure_trace")
+    return MeasureResult(cache=stats, paging=paging)
 
 
 def measure(
@@ -179,17 +185,20 @@ def measure(
             track_pages=track_pages,
         )
     pages = PageTracker() if track_pages else None
-    if engine == "scalar":
-        cache = CacheSimulator(cache_config, classify=classify)
-        sink: ReplaySink | BatchReplaySink = ReplaySink(resolver, cache, pages)
-        stats_source = cache
-    else:
-        batch = BatchCacheSimulator(cache_config, classify=classify)
-        sink = BatchReplaySink(resolver, batch, pages)
-        stats_source = batch
-    workload.run(sink, input_name)
+    with obs.span("simulate", input=input_name):
+        if engine == "scalar":
+            cache = CacheSimulator(cache_config, classify=classify)
+            sink: ReplaySink | BatchReplaySink = ReplaySink(resolver, cache, pages)
+            stats_source = cache
+        else:
+            batch = BatchCacheSimulator(cache_config, classify=classify)
+            sink = BatchReplaySink(resolver, batch, pages)
+            stats_source = batch
+        workload.run(sink, input_name)
+        stats = stats_source.stats
+    invariants.maybe_check_cache_stats(stats, context="measure")
     paging = PagingSummary.from_tracker(pages) if pages else None
-    return MeasureResult(cache=stats_source.stats, paging=paging)
+    return MeasureResult(cache=stats, paging=paging)
 
 
 def build_placement(
@@ -279,38 +288,41 @@ def run_experiment(
         test_trace = (
             train_trace if test == train else provider(workload, test)
         )
-    original = measure(
-        workload,
-        test,
-        NaturalResolver(),
-        cache_config,
-        classify,
-        track_pages,
-        engine=engine,
-        trace=test_trace,
-    )
-    ccdp = measure(
-        workload,
-        test,
-        CCDPResolver(placement),
-        cache_config,
-        classify,
-        track_pages,
-        engine=engine,
-        trace=test_trace,
-    )
-    random_result = None
-    if include_random:
-        random_result = measure(
+    with obs.span("measure.original"):
+        original = measure(
             workload,
             test,
-            RandomResolver(seed=random_seed),
+            NaturalResolver(),
             cache_config,
             classify,
             track_pages,
             engine=engine,
             trace=test_trace,
         )
+    with obs.span("measure.ccdp"):
+        ccdp = measure(
+            workload,
+            test,
+            CCDPResolver(placement),
+            cache_config,
+            classify,
+            track_pages,
+            engine=engine,
+            trace=test_trace,
+        )
+    random_result = None
+    if include_random:
+        with obs.span("measure.random"):
+            random_result = measure(
+                workload,
+                test,
+                RandomResolver(seed=random_seed),
+                cache_config,
+                classify,
+                track_pages,
+                engine=engine,
+                trace=test_trace,
+            )
     return ExperimentResult(
         workload=workload.name,
         train_input=train,

@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..cache.config import CacheConfig
+from ..obs import telemetry as obs
 from .driver import ExperimentResult
 
 
@@ -78,6 +79,19 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     )
 
 
+def _run_spec_with_telemetry(spec: ExperimentSpec) -> tuple[ExperimentResult, dict]:
+    """Worker entry point: run one spec under a private registry.
+
+    The worker builds its own :class:`~repro.obs.telemetry.Telemetry`,
+    runs the pipeline inside it, and ships the registry back as its
+    picklable dict form alongside the result.
+    """
+    registry = obs.Telemetry()
+    with obs.use(registry):
+        result = run_spec(spec)
+    return result, registry.to_dict()
+
+
 def run_experiments(
     specs: list[ExperimentSpec], jobs: int | None = None
 ) -> list[ExperimentResult]:
@@ -85,6 +99,12 @@ def run_experiments(
 
     Results are returned in spec order.  With one job (or one spec) the
     work runs inline — no pool, no pickling, identical results.
+
+    When a telemetry registry is installed in the parent, each worker
+    records into its own registry and the parent merges them back
+    (counters sum; every worker's span tree lands under one
+    ``worker[i]:<workload>`` span), so a parallel sweep reports the same
+    totals an inline run would.
     """
     specs = list(specs)
     if not specs:
@@ -93,8 +113,19 @@ def run_experiments(
     jobs = max(1, min(jobs, len(specs)))
     if jobs == 1:
         return [run_spec(spec) for spec in specs]
+    parent = obs.current()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(run_spec, specs))
+        if parent is None:
+            return list(pool.map(run_spec, specs))
+        results: list[ExperimentResult] = []
+        for index, (result, payload) in enumerate(
+            pool.map(_run_spec_with_telemetry, specs)
+        ):
+            parent.merge_child(
+                payload, label=f"worker[{index}]:{specs[index].workload}"
+            )
+            results.append(result)
+        return results
 
 
 def run_placement_spec(spec: PlacementSpec):
@@ -117,12 +148,21 @@ def run_placement_spec(spec: PlacementSpec):
     return placement
 
 
+def _run_placement_spec_with_telemetry(spec: PlacementSpec) -> tuple[object, dict]:
+    """Worker entry point: one placement job under a private registry."""
+    registry = obs.Telemetry()
+    with obs.use(registry):
+        placement = run_placement_spec(spec)
+    return placement, registry.to_dict()
+
+
 def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
     """Run per-program placement jobs, fanning out when ``jobs > 1``.
 
     Placements are embarrassingly parallel across programs — each job
     profiles its own training trace and runs the placement pipeline.
-    Results are returned in spec order.
+    Results are returned in spec order.  Worker telemetry merges into
+    the parent registry exactly like :func:`run_experiments`.
     """
     specs = list(specs)
     if not specs:
@@ -131,5 +171,16 @@ def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
     jobs = max(1, min(jobs, len(specs)))
     if jobs == 1:
         return [run_placement_spec(spec) for spec in specs]
+    parent = obs.current()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(run_placement_spec, specs))
+        if parent is None:
+            return list(pool.map(run_placement_spec, specs))
+        results = []
+        for index, (placement, payload) in enumerate(
+            pool.map(_run_placement_spec_with_telemetry, specs)
+        ):
+            parent.merge_child(
+                payload, label=f"worker[{index}]:{specs[index].workload}"
+            )
+            results.append(placement)
+        return results

@@ -15,7 +15,7 @@ from ..cache.batch import BatchCacheSimulator
 from ..cache.simulator import CacheSimulator
 from ..trace.buffer import DEFAULT_CHUNK_EVENTS, TraceBuffer
 from ..trace.events import ObjectInfo
-from ..trace.sinks import TraceSink
+from ..trace.sinks import TraceError, TraceSink
 from .resolvers import AddressResolver
 
 
@@ -42,7 +42,13 @@ class ReplaySink(TraceSink):
         self.resolver.on_free(obj_id)
 
     def on_access(self, obj_id, offset, size, is_store, category) -> None:
-        addr = self.resolver.base_of[obj_id] + offset
+        try:
+            addr = self.resolver.base_of[obj_id] + offset
+        except KeyError:
+            raise TraceError(
+                f"corrupt trace: access to unknown object id {obj_id} "
+                "(never declared or allocated)"
+            ) from None
         self.cache.access(addr, size, obj_id, category, is_store)
         if self.pages is not None:
             self.pages.touch(addr, size)
@@ -84,7 +90,13 @@ class BatchReplaySink(TraceSink):
 
     def on_access(self, obj_id, offset, size, is_store, category) -> None:
         buffer = self._buffer
-        buffer.append_addr(self._base_of[obj_id] + offset)
+        try:
+            buffer.append_addr(self._base_of[obj_id] + offset)
+        except KeyError:
+            raise TraceError(
+                f"corrupt trace: access to unknown object id {obj_id} "
+                "(never declared or allocated)"
+            ) from None
         buffer.append_size(size)
         buffer.append_obj(obj_id)
         buffer.append_cat(category)

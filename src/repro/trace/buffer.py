@@ -32,7 +32,7 @@ from typing import Iterator
 import numpy as np
 
 from .events import Category, ObjectInfo, STACK_OBJECT_ID
-from .sinks import TraceSink
+from .sinks import TraceError, TraceSink
 from .stats import WorkloadStats
 
 #: Default number of events per drained chunk (events, not bytes).
@@ -354,10 +354,21 @@ class TraceRecorder(TraceSink):
         an object's base address never changes between its allocation and
         its free, so the interleaving of accesses with lifetime events
         cannot change the result.
+
+        Raises :class:`~repro.trace.sinks.TraceError` when the recording
+        is truncated (no ``on_end`` marker) or references an object id no
+        lifetime op ever declared — resolving such a stream would hand
+        the simulator garbage base addresses.
         """
+        if not self.ended:
+            raise TraceError(
+                "truncated trace: recording ended without its on_end marker"
+            )
         obj, offset, _size, _cat, _store = self.columns()
         max_obj = int(obj.max()) if len(obj) else STACK_OBJECT_ID
         bases = np.zeros(max_obj + 1, dtype=np.int64)
+        declared = np.zeros(max_obj + 1, dtype=bool)
+        declared[STACK_OBJECT_ID] = True
         base_of = resolver.base_of
         bases[STACK_OBJECT_ID] = base_of[STACK_OBJECT_ID]
         for _position, kind, payload in self.lifetime_ops:
@@ -366,13 +377,22 @@ class TraceRecorder(TraceSink):
                 obj_id = payload.obj_id
                 if obj_id <= max_obj:
                     bases[obj_id] = base_of[obj_id]
+                    declared[obj_id] = True
             elif kind == _OP_ALLOC:
                 info, return_addresses = payload
                 resolver.on_alloc(info, return_addresses)
                 if info.obj_id <= max_obj:
                     bases[info.obj_id] = base_of[info.obj_id]
+                    declared[info.obj_id] = True
             elif kind == _OP_FREE:
                 resolver.on_free(payload)
+        known = declared[obj]
+        if not known.all():
+            bad = int(obj[np.argmin(known)])
+            raise TraceError(
+                f"corrupt trace: access to unknown object id {bad} "
+                "(never declared or allocated)"
+            )
         return bases[obj] + offset
 
     def stats(self) -> WorkloadStats:

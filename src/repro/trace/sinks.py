@@ -12,7 +12,15 @@ keeps multi-hundred-thousand-reference traces tractable in pure Python.
 
 from __future__ import annotations
 
-from .events import Access, Alloc, Category, Free, ObjectInfo
+from .events import (
+    Access,
+    Alloc,
+    Category,
+    Free,
+    ObjectInfo,
+    STACK_OBJECT_ID,
+    TraceError,
+)
 
 
 class TraceSink:
@@ -127,11 +135,23 @@ class RecordingSink(TraceSink):
         self.ended = True
 
     def replay(self, sink: TraceSink) -> None:
-        """Feed the recorded stream into another sink."""
+        """Feed the recorded stream into another sink.
+
+        The stream is validated while replaying: an access or free of an
+        object id that was never declared or allocated raises
+        :class:`TraceError` before the event reaches ``sink``.
+        """
+        known = {STACK_OBJECT_ID}
         for info in self.objects:
+            known.add(info.obj_id)
             sink.on_object(info)
         for event in self.events:
             if type(event) is Access:
+                if event.obj_id not in known:
+                    raise TraceError(
+                        f"corrupt trace: access to unknown object id "
+                        f"{event.obj_id} (never declared or allocated)"
+                    )
                 sink.on_access(
                     event.obj_id,
                     event.offset,
@@ -140,8 +160,14 @@ class RecordingSink(TraceSink):
                     event.category,
                 )
             elif type(event) is Alloc:
+                known.add(event.info.obj_id)
                 sink.on_alloc(event.info, event.return_addresses)
             else:
+                if event.obj_id not in known:
+                    raise TraceError(
+                        f"corrupt trace: free of unknown object id "
+                        f"{event.obj_id} (never declared or allocated)"
+                    )
                 sink.on_free(event.obj_id)
         if self.max_stack_depth:
             sink.on_stack_depth(self.max_stack_depth)

@@ -7,8 +7,31 @@ import random
 import pytest
 
 from repro.cache.config import CacheConfig
+from repro.obs import invariants
 from repro.vm.program import Program
 from repro.workloads.base import Workload, WorkloadInput
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixture files under tests/goldens/ "
+        "with current pipeline output instead of comparing against them",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _conservation_invariants_on():
+    """Keep miss-attribution conservation checks on for every test.
+
+    The checks default on; this pins them on even if a test under the
+    same process toggled the global switch and failed before restoring.
+    """
+    invariants.set_enabled(True)
+    yield
+    invariants.set_enabled(True)
 
 
 class ToyWorkload(Workload):

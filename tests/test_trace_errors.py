@@ -1,0 +1,135 @@
+"""Error paths of the trace layer: truncated and corrupt streams.
+
+Every consumer of a trace — :class:`RecordingSink.replay`, the live
+:class:`ReplaySink`/:class:`BatchReplaySink`, and the columnar
+:class:`TraceRecorder` resolver — must fail loudly with a
+:class:`TraceError` naming the offending object id, rather than silently
+simulating garbage addresses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.batch import BatchCacheSimulator
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator
+from repro.runtime.replay import BatchReplaySink, ReplaySink
+from repro.runtime.resolvers import NaturalResolver
+from repro.trace.buffer import TraceRecorder, record_trace
+from repro.trace.events import Category, ObjectInfo, TraceError
+from repro.trace.sinks import RecordingSink, TraceSink
+
+
+def _global_info(obj_id: int = 1, size: int = 64) -> ObjectInfo:
+    return ObjectInfo(
+        obj_id=obj_id, category=Category.GLOBAL, size=size, symbol=f"g{obj_id}"
+    )
+
+
+class TestRecordingSinkReplay:
+    def _recording_with_access(self, obj_id: int) -> RecordingSink:
+        sink = RecordingSink()
+        sink.on_object(_global_info(1))
+        sink.on_access(obj_id, 0, 4, False, Category.GLOBAL)
+        sink.on_end()
+        return sink
+
+    def test_valid_stream_replays(self):
+        self._recording_with_access(1).replay(TraceSink())
+
+    def test_access_to_undeclared_object_raises(self):
+        recording = self._recording_with_access(99)
+        with pytest.raises(TraceError, match="unknown object id 99"):
+            recording.replay(TraceSink())
+
+    def test_free_of_undeclared_object_raises(self):
+        recording = RecordingSink()
+        recording.on_free(7)
+        recording.on_end()
+        with pytest.raises(TraceError, match="unknown object id 7"):
+            recording.replay(TraceSink())
+
+    def test_allocated_object_becomes_known(self):
+        recording = RecordingSink()
+        info = ObjectInfo(obj_id=5, category=Category.HEAP, size=32, symbol="h5")
+        recording.on_alloc(info, (0x1000,))
+        recording.on_access(5, 0, 4, True, Category.HEAP)
+        recording.on_free(5)
+        recording.on_end()
+        recording.replay(TraceSink())  # must not raise
+
+    def test_error_precedes_delivery_to_target_sink(self):
+        """The bad event must not leak into the downstream sink."""
+
+        class CountingSink(TraceSink):
+            accesses = 0
+
+            def on_access(self, *args) -> None:
+                self.accesses += 1
+
+        recording = RecordingSink()
+        recording.on_object(_global_info(1))
+        recording.on_access(1, 0, 4, False, Category.GLOBAL)
+        recording.on_access(42, 0, 4, False, Category.GLOBAL)
+        recording.on_end()
+        target = CountingSink()
+        with pytest.raises(TraceError):
+            recording.replay(target)
+        assert target.accesses == 1
+
+
+class TestReplaySinkErrors:
+    def _config(self) -> CacheConfig:
+        return CacheConfig(size=1024, line_size=32, associativity=1)
+
+    def test_scalar_replay_rejects_unknown_object(self):
+        sink = ReplaySink(NaturalResolver(), CacheSimulator(self._config()))
+        sink.on_object(_global_info(1))
+        sink.on_access(1, 0, 4, False, Category.GLOBAL)
+        with pytest.raises(TraceError, match="unknown object id 33"):
+            sink.on_access(33, 0, 4, False, Category.GLOBAL)
+
+    def test_batch_replay_rejects_unknown_object(self):
+        sink = BatchReplaySink(
+            NaturalResolver(), BatchCacheSimulator(self._config())
+        )
+        sink.on_object(_global_info(1))
+        sink.on_access(1, 0, 4, False, Category.GLOBAL)
+        with pytest.raises(TraceError, match="unknown object id 33"):
+            sink.on_access(33, 0, 4, False, Category.GLOBAL)
+
+    def test_replay_rejects_use_after_free(self):
+        """A freed heap object leaves the resolver; later access is corrupt."""
+        sink = ReplaySink(NaturalResolver(), CacheSimulator(self._config()))
+        info = ObjectInfo(obj_id=9, category=Category.HEAP, size=48, symbol="h9")
+        sink.on_alloc(info, (0x2000,))
+        sink.on_access(9, 0, 4, True, Category.HEAP)
+        sink.on_free(9)
+        with pytest.raises(TraceError, match="unknown object id 9"):
+            sink.on_access(9, 0, 4, False, Category.HEAP)
+
+
+class TestTraceRecorderErrors:
+    def test_truncated_recording_cannot_resolve(self):
+        recorder = TraceRecorder()
+        recorder.on_object(_global_info(1))
+        recorder.on_access(1, 0, 4, False, Category.GLOBAL)
+        # no on_end(): the recording is truncated
+        with pytest.raises(TraceError, match="truncated trace"):
+            recorder.resolve(NaturalResolver())
+
+    def test_corrupt_recording_names_the_bad_object(self):
+        recorder = TraceRecorder()
+        recorder.on_object(_global_info(1))
+        recorder.on_access(1, 0, 4, False, Category.GLOBAL)
+        recorder.on_access(17, 8, 4, False, Category.GLOBAL)
+        recorder.on_end()
+        with pytest.raises(TraceError, match="unknown object id 17"):
+            recorder.resolve(NaturalResolver())
+
+    def test_recorded_workload_trace_resolves_clean(self, toy_workload):
+        trace = record_trace(toy_workload, toy_workload.train_input)
+        addresses = trace.resolve(NaturalResolver())
+        assert len(addresses) == len(trace)
+        assert (addresses >= 0).all()
