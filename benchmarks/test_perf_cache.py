@@ -1,0 +1,48 @@
+"""Bench: the artifact store's warm path vs a cold pipeline run.
+
+Runs :func:`repro.runtime.bench.run_cache_bench` under the benchmark
+timer and writes ``BENCH_cache.json``: the Table 2/4 pipeline runs twice
+over one persistent store — cold (computing and persisting every stage)
+then warm (loading every stage, never executing a workload).
+
+Shapes asserted:
+
+* the warm arm is at least 5x faster end-to-end than the cold arm;
+* warm results are bit-identical to cold (rendered tables and every
+  placement map);
+* the cold arm computes and persists (misses + writes), the warm arm
+  only hits;
+* the JSON report exists and round-trips with the headline numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from conftest import run_once
+
+from repro.runtime.bench import run_cache_bench
+
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_cache.json")
+
+
+def test_perf_cache(benchmark):
+    result = run_once(benchmark, run_cache_bench, quick=True, output=OUTPUT)
+
+    cold = result["arms"]["cold"]
+    warm = result["arms"]["warm"]
+    assert result["identical"], "warm results must be bit-identical to cold"
+    assert result["speedup"] >= 5.0
+    assert cold["store"]["writes"] > 0
+    assert cold["store"]["misses"] > 0
+    assert warm["store"]["misses"] == 0
+    assert warm["store"]["writes"] == 0
+    assert warm["store"]["hits"] > 0
+
+    with open(OUTPUT) as handle:
+        report = json.load(handle)
+    assert report["programs"] == result["programs"]
+    assert report["speedup"] == result["speedup"]
+    assert report["identical"] is True
+    assert set(report["arms"]) == {"cold", "warm"}

@@ -16,10 +16,21 @@ Commands mirror the paper's workflow:
 * ``bench``    — time the table pipeline under the batched engine vs the
   scalar baseline and write ``BENCH_pipeline.json``; ``--placement``
   times the placement pass (array vs scalar conflict-scan engine) and
-  writes ``BENCH_placement.json``.
+  writes ``BENCH_placement.json``; ``--store`` times a cold vs warm
+  artifact-store run and writes ``BENCH_cache.json``.
 * ``report``   — run one workload's full pipeline under telemetry and
   emit a structured run report: span tree, counters, per-category miss
   attribution with conservation checks (``-o`` writes the JSON).
+* ``cache``    — inspect or maintain the persistent artifact store
+  (``stats`` / ``gc`` / ``clear``).
+
+The experiment commands (``run``, ``tables``, ``report``) consult the
+artifact store by default — pass ``--no-cache`` to disable, or
+``--cache-dir`` to point at a specific store root (falling back to the
+``REPRO_CACHE_DIR`` environment variable, then ``.repro-cache``).  A
+one-line ``[store] hits=... misses=...`` summary goes to stderr after
+each cached command.  ``bench`` leaves the store off unless
+``--cache-dir`` is given explicitly, so its timing arms stay honest.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from .runtime.driver import (
     profile_workload,
     run_experiment,
 )
+from .store import ArtifactStore, resolve_cache_dir, use_store
 from .trace.events import Category
 from .workloads import make_workload, workload_names
 
@@ -224,6 +236,8 @@ def cmd_summary(args) -> int:
 
 
 def cmd_tables(args) -> int:
+    import inspect
+
     from . import experiments
     from .experiments.common import set_parallel_jobs
 
@@ -244,21 +258,51 @@ def cmd_tables(args) -> int:
         "sampling": experiments.run_sampling_study,
         "sensitivity": experiments.run_input_sensitivity,
     }
-    result = runners[args.table]()
+    runner = runners[args.table]
+    kwargs = {}
+    if args.programs:
+        programs = [name.strip() for name in args.programs.split(",")]
+        unknown = sorted(set(programs) - set(workload_names()))
+        if unknown:
+            print(f"unknown programs: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        params = inspect.signature(runner).parameters
+        if "programs" in params:
+            kwargs["programs"] = programs
+        elif "program" in params and len(programs) == 1:
+            kwargs["program"] = programs[0]
+        else:
+            print(
+                f"{args.table} does not take a program subset", file=sys.stderr
+            )
+            return 2
+    result = runner(**kwargs)
     print(result.render())
     return 0
 
 
 def cmd_bench(args) -> int:
     from .runtime.bench import (
+        CACHE_OUTPUT,
         DEFAULT_OUTPUT,
         PLACEMENT_OUTPUT,
         render_bench,
+        render_cache_bench,
         render_placement_bench,
         run_bench,
+        run_cache_bench,
         run_placement_bench,
     )
 
+    if args.store:
+        result = run_cache_bench(
+            quick=args.quick,
+            output=args.output or CACHE_OUTPUT,
+            cache_dir=args.cache_dir,
+            progress=print,
+        )
+        print(render_cache_bench(result))
+        return 0
     if args.placement:
         result = run_placement_bench(
             quick=args.quick,
@@ -296,6 +340,57 @@ def cmd_report(args) -> int:
         print(report.to_json())
         print(report.render(), file=sys.stderr)
     return 0
+
+
+def cmd_cache(args) -> int:
+    store = ArtifactStore(resolve_cache_dir(args.cache_dir))
+    if args.action == "stats":
+        summary = store.stats()
+        print(f"root: {summary.root}")
+        print(
+            f"entries: {summary.entries} "
+            f"({summary.bytes} bytes, {summary.stale} stale)"
+        )
+        for kind in sorted(summary.by_kind):
+            print(f"  {kind:<12} {summary.by_kind[kind]}")
+    elif args.action == "gc":
+        removed, bytes_removed = store.gc(
+            max_bytes=args.max_bytes, max_age_days=args.max_age_days
+        )
+        print(f"gc: removed {removed} entries ({bytes_removed} bytes)")
+    else:  # clear
+        removed = store.clear()
+        print(f"clear: removed {removed} entries")
+    return 0
+
+
+#: Commands that consult the artifact store, mapped to whether caching
+#: is on by default (``bench`` opts in only via an explicit flag so its
+#: timing arms stay honest).
+_STORE_COMMANDS = {"run": True, "tables": True, "report": True, "bench": False}
+
+
+def _add_store_options(parser: argparse.ArgumentParser, default_on: bool) -> None:
+    state = "on by default" if default_on else "off unless --cache-dir is given"
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"artifact store root (caching {state}; "
+             "falls back to $REPRO_CACHE_DIR, then .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact store for this run",
+    )
+
+
+def _resolve_store(args) -> ArtifactStore | None:
+    """The store a CLI invocation should run under, or None."""
+    default_on = _STORE_COMMANDS.get(args.command)
+    if default_on is None or args.no_cache:
+        return None
+    if not default_on and not args.cache_dir:
+        return None
+    return ArtifactStore(resolve_cache_dir(args.cache_dir))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -342,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--random", action="store_true", help="also measure random placement"
     )
     _add_cache_option(p_run)
+    _add_store_options(p_run, default_on=True)
 
     p_map = sub.add_parser("map", help="ASCII cache-occupancy maps")
     p_map.add_argument("workload", choices=workload_names())
@@ -367,6 +463,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the per-program experiments (default 1)",
     )
+    p_tables.add_argument(
+        "--programs", default=None,
+        help="comma-separated subset of programs to run "
+             "(tables that accept one)",
+    )
+    _add_store_options(p_tables, default_on=True)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the batched engine against the scalar baseline"
@@ -385,10 +487,16 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of the simulation pipeline",
     )
     p_bench.add_argument(
+        "--store", action="store_true",
+        help="benchmark the artifact store (cold vs warm pipeline run) "
+             "and write BENCH_cache.json",
+    )
+    p_bench.add_argument(
         "-o", "--output", default=None,
         help="where to write the JSON report (default BENCH_pipeline.json, "
              "or BENCH_placement.json with --placement)",
     )
+    _add_store_options(p_bench, default_on=False)
 
     p_report = sub.add_parser(
         "report",
@@ -409,6 +517,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here (default: print to stdout)",
     )
     _add_cache_option(p_report)
+    _add_store_options(p_report, default_on=True)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent artifact store"
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="summarize entries, bytes, and staleness"
+    )
+    p_cache_gc = cache_sub.add_parser(
+        "gc", help="evict stale, old, or excess entries"
+    )
+    p_cache_gc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest entries until the store fits this many bytes",
+    )
+    p_cache_gc.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="evict entries not touched within this many days",
+    )
+    p_cache_clear = cache_sub.add_parser("clear", help="delete every entry")
+    for sub_parser in (p_cache_stats, p_cache_gc, p_cache_clear):
+        sub_parser.add_argument(
+            "--cache-dir", default=None,
+            help="store root (default: $REPRO_CACHE_DIR, then .repro-cache)",
+        )
     return parser
 
 
@@ -423,13 +557,21 @@ _COMMANDS = {
     "tables": cmd_tables,
     "bench": cmd_bench,
     "report": cmd_report,
+    "cache": cmd_cache,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    store = _resolve_store(args)
+    if store is None:
+        return _COMMANDS[args.command](args)
+    with use_store(store):
+        try:
+            return _COMMANDS[args.command](args)
+        finally:
+            print(store.summary_line(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

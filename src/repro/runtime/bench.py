@@ -34,6 +34,7 @@ from .resolvers import NaturalResolver
 QUICK_PROGRAMS = ("deltablue", "espresso")
 DEFAULT_OUTPUT = "BENCH_pipeline.json"
 PLACEMENT_OUTPUT = "BENCH_placement.json"
+CACHE_OUTPUT = "BENCH_cache.json"
 
 
 def _time_tables(programs: list[str]) -> dict[str, float]:
@@ -285,6 +286,119 @@ def run_placement_bench(
             json.dump(result, handle, indent=2)
         result["output"] = output
     return result
+
+
+def run_cache_bench(
+    quick: bool = True,
+    output: str | None = CACHE_OUTPUT,
+    programs: list[str] | None = None,
+    cache_dir: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Benchmark the artifact store: cold vs warm pipeline run.
+
+    Runs the Table 2/4 pipeline twice over the same persistent store —
+    once against an empty store (every stage computes and persists),
+    once against the store the first pass filled (every stage loads).
+    The in-process memo cache is cleared between arms, so the only
+    state carried over is the on-disk store; the warm arm's results
+    must be bit-identical to the cold arm's.
+
+    Returns the result dict (also written to ``output`` unless None):
+    wall-clock per arm, the headline warm ``speedup``, per-arm store
+    counters, and an ``identical`` flag covering the rendered tables
+    and every placement map.
+    """
+    import shutil
+    import tempfile
+
+    from ..experiments import run_table2, run_table4
+    from ..experiments.common import all_programs, cached_placement, clear_cache
+    from ..profiling.serialize import placement_to_dict
+    from ..store import ArtifactStore, use_store
+
+    say = progress or (lambda _message: None)
+    if programs is None:
+        programs = list(QUICK_PROGRAMS) if quick else all_programs()
+    own_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-cache-bench-")
+
+    def run_arm(label: str) -> dict[str, object]:
+        say(f"{label} arm...")
+        clear_cache()
+        store = ArtifactStore(root)
+        with use_store(store):
+            start = time.perf_counter()
+            table2 = run_table2(programs)
+            table4 = run_table4(programs)
+            elapsed = time.perf_counter() - start
+            placements = {
+                name: placement_to_dict(cached_placement(name)[1])
+                for name in programs
+            }
+        tallies = store.counters
+        return {
+            "total_s": elapsed,
+            "tables": {"table2": table2.render(), "table4": table4.render()},
+            "placements": placements,
+            "store": {
+                "hits": tallies.hits,
+                "misses": tallies.misses,
+                "corrupt": tallies.corrupt,
+                "writes": tallies.writes,
+                "bytes_written": tallies.bytes_written,
+            },
+        }
+
+    try:
+        cold = run_arm("cold")
+        warm = run_arm("warm")
+    finally:
+        clear_cache()
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    identical = (
+        cold["tables"] == warm["tables"]
+        and cold["placements"] == warm["placements"]
+    )
+    result: dict[str, object] = {
+        "quick": quick,
+        "programs": programs,
+        "cache_dir": None if own_dir else root,
+        "arms": {
+            "cold": {k: cold[k] for k in ("total_s", "store")},
+            "warm": {k: warm[k] for k in ("total_s", "store")},
+        },
+        "identical": identical,
+        "speedup": (
+            cold["total_s"] / warm["total_s"] if warm["total_s"] else 0.0
+        ),
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+        result["output"] = output
+    return result
+
+
+def render_cache_bench(result: dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_cache_bench` result."""
+    cold = result["arms"]["cold"]
+    warm = result["arms"]["warm"]
+    lines = [
+        f"artifact store ({', '.join(result['programs'])}):",
+        f"  cold  {cold['total_s']:6.2f}s   "
+        f"(misses={cold['store']['misses']}, writes={cold['store']['writes']}, "
+        f"{cold['store']['bytes_written']:,} bytes)",
+        f"  warm  {warm['total_s']:6.2f}s   "
+        f"(hits={warm['store']['hits']}, misses={warm['store']['misses']})",
+        f"  -> {result['speedup']:.1f}x warm speedup, results "
+        + ("bit-identical" if result["identical"] else "MISMATCH"),
+    ]
+    if "output" in result:
+        lines.append(f"wrote {result['output']}")
+    return "\n".join(lines)
 
 
 def render_placement_bench(result: dict[str, object]) -> str:

@@ -24,6 +24,8 @@ from ..core.placement_map import PlacementMap
 from ..profiling.batch import profile_trace
 from ..profiling.profiler import ProfilerSink
 from ..profiling.profile_data import Profile
+from ..store import current_store
+from ..store import stages as store_stages
 from ..trace.buffer import DEFAULT_CHUNK_EVENTS, TraceRecorder, record_trace
 from ..trace.stats import StatsSink, WorkloadStats
 from ..workloads.base import Workload
@@ -83,16 +85,34 @@ def profile_workload(
     When a recorded ``trace`` of the same (workload, input) run is
     supplied, the profile is derived from its columns by the batched
     profiler (:func:`~repro.profiling.batch.profile_trace`) instead of
-    re-running the workload; the result is identical.
+    re-running the workload; the result is identical.  With an artifact
+    store installed, the trace-derived profile is additionally served
+    from (and persisted to) the store, keyed by the trace fingerprint
+    and profiler parameters.
     """
     with obs.span("profile", input=input_name):
         if trace is not None:
-            return profile_trace(
-                trace,
-                cache_config=cache_config,
-                chunk_size=chunk_size,
-                name_depth=name_depth,
-                queue_threshold=queue_threshold,
+            def compute() -> Profile:
+                return profile_trace(
+                    trace,
+                    cache_config=cache_config,
+                    chunk_size=chunk_size,
+                    name_depth=name_depth,
+                    queue_threshold=queue_threshold,
+                )
+
+            store = current_store()
+            if store is None:
+                return compute()
+            params = store_stages.profile_params(
+                {
+                    "chunk_size": chunk_size,
+                    "name_depth": name_depth,
+                    "queue_threshold": queue_threshold,
+                }
+            )
+            return store_stages.cached_profile(
+                store, trace, cache_config, params, compute
             )
         sink = ProfilerSink(
             cache_config=cache_config,
@@ -112,10 +132,15 @@ def collect_stats(
     """Gather Table 1 statistics for one input.
 
     With a recorded ``trace``, statistics are computed vectorized from
-    its columns instead of re-running the workload.
+    its columns instead of re-running the workload (and, with an
+    artifact store installed, served from the store by trace
+    fingerprint).
     """
     if trace is not None:
-        return trace.stats()
+        store = current_store()
+        if store is None:
+            return trace.stats()
+        return store_stages.cached_workload_stats(store, trace, trace.stats)
     sink = StatsSink()
     workload.run(sink, input_name)
     return sink.stats
@@ -135,23 +160,49 @@ def measure_trace(
     whole address column in one gather; the resolved columns then stream
     chunk-wise through the batched cache engine (and page tracker).
     Results equal the scalar :func:`measure` of the same run.
+
+    With an artifact store installed, the finished statistics are served
+    from (and persisted to) the store, keyed by the trace fingerprint
+    and the resolver's placement policy; ``parity`` runs bypass the
+    store so the scalar/batched cross-check always actually executes.
     """
-    with obs.span("simulate", events=trace.events):
-        engine = BatchCacheSimulator(cache_config, classify=classify, parity=parity)
-        pages = PageTracker() if track_pages else None
-        addr = trace.resolve(resolver)
-        obj, _offset, size, cat, store = trace.columns()
-        for start in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
-            chunk = slice(start, start + DEFAULT_CHUNK_EVENTS)
-            engine.consume(addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk])
-            if pages is not None:
-                pages.touch_batch(addr[chunk], size[chunk])
-        if parity:
-            engine.assert_parity()
-        paging = PagingSummary.from_tracker(pages) if pages else None
-        stats = engine.stats
-    invariants.maybe_check_cache_stats(stats, context="measure_trace")
-    return MeasureResult(cache=stats, paging=paging)
+
+    def compute() -> MeasureResult:
+        with obs.span("simulate", events=trace.events):
+            engine = BatchCacheSimulator(
+                cache_config, classify=classify, parity=parity
+            )
+            pages = PageTracker() if track_pages else None
+            addr = trace.resolve(resolver)
+            obj, _offset, size, cat, store = trace.columns()
+            for start in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
+                chunk = slice(start, start + DEFAULT_CHUNK_EVENTS)
+                engine.consume(
+                    addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk]
+                )
+                if pages is not None:
+                    pages.touch_batch(addr[chunk], size[chunk])
+            if parity:
+                engine.assert_parity()
+            paging = PagingSummary.from_tracker(pages) if pages else None
+            stats = engine.stats
+        return MeasureResult(cache=stats, paging=paging)
+
+    artifact_store = current_store()
+    if artifact_store is None or parity:
+        result = compute()
+    else:
+        result = store_stages.cached_measure(
+            artifact_store,
+            trace,
+            resolver,
+            cache_config,
+            classify,
+            track_pages,
+            compute,
+        )
+    invariants.maybe_check_cache_stats(result.cache, context="measure_trace")
+    return result
 
 
 def measure(
@@ -210,18 +261,42 @@ def build_placement(
     placement_engine: str = "array",
     **profiler_kwargs,
 ) -> tuple[Profile, PlacementMap]:
-    """Profile the training input and run the placement algorithm."""
+    """Profile the training input and run the placement algorithm.
+
+    With an artifact store installed and a recorded ``trace`` in hand,
+    both stage outputs are store-backed: the profile by trace
+    fingerprint + profiler parameters, the placement map by those plus
+    the geometry and placer configuration — so e.g. re-placing under a
+    different engine reuses the cached profile.
+    """
     train = train_input or workload.train_input
     profile = profile_workload(
         workload, train, cache_config, trace=trace, **profiler_kwargs
     )
-    placer = CCDPPlacer(
-        profile,
-        cache_config=cache_config,
-        place_heap=workload.place_heap if place_heap is None else place_heap,
-        engine=placement_engine,
+    resolved_heap = workload.place_heap if place_heap is None else place_heap
+
+    def compute() -> PlacementMap:
+        placer = CCDPPlacer(
+            profile,
+            cache_config=cache_config,
+            place_heap=resolved_heap,
+            engine=placement_engine,
+        )
+        return placer.place()
+
+    store = current_store()
+    if store is None or trace is None:
+        return profile, compute()
+    placement = store_stages.cached_placement(
+        store,
+        trace,
+        cache_config,
+        resolved_heap,
+        placement_engine,
+        store_stages.profile_params(profiler_kwargs),
+        compute,
     )
-    return profile, placer.place()
+    return profile, placement
 
 
 def run_experiment(
@@ -259,6 +334,25 @@ def run_experiment(
     """
     train = train_input or workload.train_input
     test = test_input or workload.test_input
+    artifact_store = current_store() if engine != "scalar" else None
+    if artifact_store is not None:
+        # Full-warm path: when every stage entry hits (keyed off the
+        # recorded trace fingerprints), the experiment is reassembled
+        # from the store and the workload never executes.
+        cached = store_stages.try_load_experiment(
+            artifact_store,
+            workload,
+            train,
+            test,
+            cache_config,
+            include_random,
+            random_seed,
+            classify,
+            track_pages,
+            place_heap=place_heap,
+        )
+        if cached is not None:
+            return cached
     if engine == "scalar":
         profile, placement = build_placement(
             workload, train, cache_config, place_heap=place_heap
@@ -273,6 +367,19 @@ def run_experiment(
                 if input_name not in local:
                     local[input_name] = record_trace(wl, input_name)
                 return local[input_name]
+
+        if artifact_store is not None:
+            # Refresh the (workload, input) -> fingerprint meta entry
+            # whenever a trace is actually recorded, so the next run can
+            # take the full-warm path above.
+            inner_provider = provider
+
+            def provider(wl: Workload, input_name: str) -> TraceRecorder:
+                trace = inner_provider(wl, input_name)
+                store_stages.remember_trace(
+                    artifact_store, wl.name, input_name, trace
+                )
+                return trace
 
         train_trace = provider(workload, train)
         if placement_provider is not None:

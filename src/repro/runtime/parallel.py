@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 from ..cache.config import CacheConfig
 from ..obs import telemetry as obs
+from ..store import ArtifactStore, current_store, use_store
+from ..store import stages as store_stages
 from .driver import ExperimentResult
 
 
@@ -79,17 +81,58 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     )
 
 
-def _run_spec_with_telemetry(spec: ExperimentSpec) -> tuple[ExperimentResult, dict]:
+def _install_worker_store(store_root: str | None):
+    """Context installing a fresh store handle inside a worker process."""
+    if store_root is None:
+        return use_store(None)
+    return use_store(ArtifactStore(store_root))
+
+
+def _run_spec_in_store(args: tuple[ExperimentSpec, str | None]) -> ExperimentResult:
+    """Worker entry point: run one spec with the parent's store root."""
+    spec, store_root = args
+    with _install_worker_store(store_root):
+        return run_spec(spec)
+
+
+def _run_spec_with_telemetry(
+    args: tuple[ExperimentSpec, str | None],
+) -> tuple[ExperimentResult, dict]:
     """Worker entry point: run one spec under a private registry.
 
     The worker builds its own :class:`~repro.obs.telemetry.Telemetry`,
-    runs the pipeline inside it, and ships the registry back as its
-    picklable dict form alongside the result.
+    runs the pipeline inside it (and inside the parent's artifact store,
+    when one was active), and ships the registry back as its picklable
+    dict form alongside the result.
     """
+    spec, store_root = args
     registry = obs.Telemetry()
-    with obs.use(registry):
+    with obs.use(registry), _install_worker_store(store_root):
         result = run_spec(spec)
     return result, registry.to_dict()
+
+
+def _warm_experiment(spec: ExperimentSpec) -> ExperimentResult | None:
+    """Reassemble one spec's result from the active store, or None."""
+    store = current_store()
+    if store is None or spec.engine == "scalar":
+        return None
+    from ..workloads import make_workload
+
+    workload = make_workload(spec.workload)
+    train = workload.train_input
+    test = train if spec.same_input else workload.test_input
+    return store_stages.try_load_experiment(
+        store,
+        workload,
+        train,
+        test,
+        spec.cache_config,
+        spec.include_random,
+        12345,
+        spec.classify,
+        spec.track_pages,
+    )
 
 
 def run_experiments(
@@ -100,6 +143,13 @@ def run_experiments(
     Results are returned in spec order.  With one job (or one spec) the
     work runs inline — no pool, no pickling, identical results.
 
+    With an artifact store installed, the fan-out is *incremental*:
+    every spec whose stage entries all hit is served inline from the
+    store (no worker, no workload run), only the cold remainder is
+    dispatched to the pool, and each worker installs its own handle on
+    the same store root so freshly computed shards are persisted for
+    the next sweep.
+
     When a telemetry registry is installed in the parent, each worker
     records into its own registry and the parent merges them back
     (counters sum; every worker's span tree lands under one
@@ -109,22 +159,34 @@ def run_experiments(
     specs = list(specs)
     if not specs:
         return []
+    store = current_store()
+    results: list[ExperimentResult | None] = [
+        _warm_experiment(spec) for spec in specs
+    ]
+    cold = [index for index, result in enumerate(results) if result is None]
+    if not cold:
+        return results
     jobs = default_jobs() if jobs is None else jobs
-    jobs = max(1, min(jobs, len(specs)))
+    jobs = max(1, min(jobs, len(cold)))
     if jobs == 1:
-        return [run_spec(spec) for spec in specs]
+        for index in cold:
+            results[index] = run_spec(specs[index])
+        return results
+    store_root = str(store.root) if store is not None else None
+    args = [(specs[index], store_root) for index in cold]
     parent = obs.current()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         if parent is None:
-            return list(pool.map(run_spec, specs))
-        results: list[ExperimentResult] = []
-        for index, (result, payload) in enumerate(
-            pool.map(_run_spec_with_telemetry, specs)
+            for index, result in zip(cold, pool.map(_run_spec_in_store, args)):
+                results[index] = result
+            return results
+        for index, (result, payload) in zip(
+            cold, pool.map(_run_spec_with_telemetry, args)
         ):
             parent.merge_child(
                 payload, label=f"worker[{index}]:{specs[index].workload}"
             )
-            results.append(result)
+            results[index] = result
         return results
 
 
@@ -133,27 +195,77 @@ def run_placement_spec(spec: PlacementSpec):
 
     Returns the :class:`~repro.core.placement_map.PlacementMap` only —
     the profile stays in the worker, keeping the pickled result small.
+
+    With an artifact store installed, the training run is recorded as a
+    trace first (the batched profiler derives an identical profile from
+    it) so both stage outputs land in the store keyed by the trace
+    fingerprint, making the next sweep's shard warm.
     """
     from ..workloads import make_workload
     from .driver import build_placement
 
     workload = make_workload(spec.workload)
+    trace = None
+    store = current_store()
+    if store is not None:
+        from ..trace.buffer import record_trace
+
+        train = spec.train_input or workload.train_input
+        trace = record_trace(workload, train)
+        store_stages.remember_trace(store, workload.name, train, trace)
     _profile, placement = build_placement(
         workload,
         spec.train_input,
         spec.cache_config,
         place_heap=spec.place_heap,
+        trace=trace,
         placement_engine=spec.placement_engine,
     )
     return placement
 
 
-def _run_placement_spec_with_telemetry(spec: PlacementSpec) -> tuple[object, dict]:
+def _run_placement_spec_in_store(args: tuple[PlacementSpec, str | None]):
+    """Worker entry point: one placement job with the parent's store root."""
+    spec, store_root = args
+    with _install_worker_store(store_root):
+        return run_placement_spec(spec)
+
+
+def _run_placement_spec_with_telemetry(
+    args: tuple[PlacementSpec, str | None],
+) -> tuple[object, dict]:
     """Worker entry point: one placement job under a private registry."""
+    spec, store_root = args
     registry = obs.Telemetry()
-    with obs.use(registry):
+    with obs.use(registry), _install_worker_store(store_root):
         placement = run_placement_spec(spec)
     return placement, registry.to_dict()
+
+
+def _warm_placement(spec: PlacementSpec):
+    """Load one spec's placement map from the active store, or None."""
+    store = current_store()
+    if store is None:
+        return None
+    from ..workloads import make_workload
+
+    workload = make_workload(spec.workload)
+    train = spec.train_input or workload.train_input
+    place_heap = (
+        workload.place_heap if spec.place_heap is None else spec.place_heap
+    )
+    pair = store_stages.try_load_placement_pair(
+        store,
+        workload.name,
+        train,
+        spec.cache_config,
+        place_heap,
+        spec.placement_engine,
+    )
+    if pair is None:
+        return None
+    _profile, placement = pair
+    return placement
 
 
 def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
@@ -161,26 +273,41 @@ def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
 
     Placements are embarrassingly parallel across programs — each job
     profiles its own training trace and runs the placement pipeline.
-    Results are returned in spec order.  Worker telemetry merges into
-    the parent registry exactly like :func:`run_experiments`.
+    Results are returned in spec order.  With an artifact store
+    installed, shards whose profile + placement entries hit are served
+    inline and only the cold remainder reaches the pool (workers share
+    the parent's store root).  Worker telemetry merges into the parent
+    registry exactly like :func:`run_experiments`.
     """
     specs = list(specs)
     if not specs:
         return []
+    store = current_store()
+    results: list[object | None] = [_warm_placement(spec) for spec in specs]
+    cold = [index for index, result in enumerate(results) if result is None]
+    if not cold:
+        return results
     jobs = default_jobs() if jobs is None else jobs
-    jobs = max(1, min(jobs, len(specs)))
+    jobs = max(1, min(jobs, len(cold)))
     if jobs == 1:
-        return [run_placement_spec(spec) for spec in specs]
+        for index in cold:
+            results[index] = run_placement_spec(specs[index])
+        return results
+    store_root = str(store.root) if store is not None else None
+    args = [(specs[index], store_root) for index in cold]
     parent = obs.current()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         if parent is None:
-            return list(pool.map(run_placement_spec, specs))
-        results = []
-        for index, (placement, payload) in enumerate(
-            pool.map(_run_placement_spec_with_telemetry, specs)
+            for index, placement in zip(
+                cold, pool.map(_run_placement_spec_in_store, args)
+            ):
+                results[index] = placement
+            return results
+        for index, (placement, payload) in zip(
+            cold, pool.map(_run_placement_spec_with_telemetry, args)
         ):
             parent.merge_child(
                 payload, label=f"worker[{index}]:{specs[index].workload}"
             )
-            results.append(placement)
+            results[index] = placement
         return results

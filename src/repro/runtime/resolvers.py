@@ -123,6 +123,10 @@ class RandomResolver(AddressResolver):
     """
 
     def __init__(self, seed: int = 0, max_pad: int = 8192):
+        # Kept as plain attributes: the artifact store keys random-policy
+        # measurements by (seed, max_pad).
+        self.seed = seed
+        self.max_pad = max_pad
         self._rng = random.Random(seed)
         self._max_pad = max_pad
         super().__init__()

@@ -1,0 +1,143 @@
+"""JSON codecs for the pipeline artifacts the store persists.
+
+Profiles and placement maps reuse the existing feedback-file codecs
+(:mod:`repro.profiling.serialize`); this module adds the remaining stage
+outputs — :class:`~repro.cache.simulator.CacheStats`,
+:class:`~repro.analysis.paging.PagingSummary` (together one
+:class:`~repro.runtime.driver.MeasureResult`), and
+:class:`~repro.trace.stats.WorkloadStats` — with the same discipline:
+plain inspectable JSON, enum members by name, integer dict keys restored
+on load so a decoded artifact compares equal to a freshly computed one.
+"""
+
+from __future__ import annotations
+
+from ..analysis.paging import PagingSummary
+from ..cache.simulator import CacheStats
+from ..trace.events import Category
+from ..trace.stats import WorkloadStats
+
+
+def _by_category_to_dict(counts: dict[Category, int]) -> dict[str, int]:
+    return {category.name: int(counts[category]) for category in Category}
+
+
+def _by_category_from_dict(data: dict[str, int]) -> dict[Category, int]:
+    return {category: int(data[category.name]) for category in Category}
+
+
+def _by_object_to_list(counts: dict[int, int]) -> list[list[int]]:
+    return [[int(key), int(value)] for key, value in counts.items()]
+
+
+def _by_object_from_list(data: list) -> dict[int, int]:
+    return {int(key): int(value) for key, value in data}
+
+
+# -- cache statistics ---------------------------------------------------------
+
+
+def cache_stats_to_dict(stats: CacheStats) -> dict:
+    """Encode hit/miss counters with their category/object attribution."""
+    return {
+        "accesses": int(stats.accesses),
+        "misses": int(stats.misses),
+        "accesses_by_category": _by_category_to_dict(stats.accesses_by_category),
+        "misses_by_category": _by_category_to_dict(stats.misses_by_category),
+        "accesses_by_object": _by_object_to_list(stats.accesses_by_object),
+        "misses_by_object": _by_object_to_list(stats.misses_by_object),
+        "compulsory": int(stats.compulsory),
+        "capacity": int(stats.capacity),
+        "conflict": int(stats.conflict),
+        "writebacks": int(stats.writebacks),
+    }
+
+
+def cache_stats_from_dict(data: dict) -> CacheStats:
+    """Decode :func:`cache_stats_to_dict` output."""
+    return CacheStats(
+        accesses=data["accesses"],
+        misses=data["misses"],
+        accesses_by_category=_by_category_from_dict(data["accesses_by_category"]),
+        misses_by_category=_by_category_from_dict(data["misses_by_category"]),
+        accesses_by_object=_by_object_from_list(data["accesses_by_object"]),
+        misses_by_object=_by_object_from_list(data["misses_by_object"]),
+        compulsory=data["compulsory"],
+        capacity=data["capacity"],
+        conflict=data["conflict"],
+        writebacks=data["writebacks"],
+    )
+
+
+# -- measurement results ------------------------------------------------------
+
+
+def measure_result_to_dict(result) -> dict:
+    """Encode one (cache stats, optional paging summary) measurement."""
+    paging = None
+    if result.paging is not None:
+        paging = {
+            "total_pages": int(result.paging.total_pages),
+            "working_set": float(result.paging.working_set),
+        }
+    return {"cache": cache_stats_to_dict(result.cache), "paging": paging}
+
+
+def measure_result_from_dict(data: dict):
+    """Decode :func:`measure_result_to_dict` output into a MeasureResult."""
+    from ..runtime.driver import MeasureResult
+
+    paging = None
+    if data.get("paging") is not None:
+        paging = PagingSummary(
+            total_pages=data["paging"]["total_pages"],
+            working_set=data["paging"]["working_set"],
+        )
+    return MeasureResult(
+        cache=cache_stats_from_dict(data["cache"]), paging=paging
+    )
+
+
+# -- workload statistics ------------------------------------------------------
+
+
+def workload_stats_to_dict(stats: WorkloadStats) -> dict:
+    """Encode Table 1 statistics for one (workload, input) run."""
+    return {
+        "instructions": int(stats.instructions),
+        "loads": int(stats.loads),
+        "stores": int(stats.stores),
+        "refs_by_category": _by_category_to_dict(stats.refs_by_category),
+        "alloc_count": int(stats.alloc_count),
+        "alloc_bytes": int(stats.alloc_bytes),
+        "free_count": int(stats.free_count),
+        "free_bytes": int(stats.free_bytes),
+        "refs_by_object": _by_object_to_list(stats.refs_by_object),
+        "object_sizes": _by_object_to_list(stats.object_sizes),
+        "object_categories": [
+            [int(obj_id), int(category)]
+            for obj_id, category in stats.object_categories.items()
+        ],
+        "max_stack_depth": int(stats.max_stack_depth),
+    }
+
+
+def workload_stats_from_dict(data: dict) -> WorkloadStats:
+    """Decode :func:`workload_stats_to_dict` output."""
+    return WorkloadStats(
+        instructions=data["instructions"],
+        loads=data["loads"],
+        stores=data["stores"],
+        refs_by_category=_by_category_from_dict(data["refs_by_category"]),
+        alloc_count=data["alloc_count"],
+        alloc_bytes=data["alloc_bytes"],
+        free_count=data["free_count"],
+        free_bytes=data["free_bytes"],
+        refs_by_object=_by_object_from_list(data["refs_by_object"]),
+        object_sizes=_by_object_from_list(data["object_sizes"]),
+        object_categories={
+            int(obj_id): Category(category)
+            for obj_id, category in data["object_categories"]
+        },
+        max_stack_depth=data["max_stack_depth"],
+    )

@@ -1,0 +1,413 @@
+"""Incremental pipeline stages: store-backed get-or-compute wrappers.
+
+The CCDP pipeline factors into pure stages — Name profile + TRG from a
+recorded trace, placement map from a profile, per-placement simulation
+statistics from a trace — and each stage here wraps its computation in a
+store consultation keyed by :mod:`repro.store.keys`.
+
+Two families of helpers:
+
+* **get-or-compute** (:func:`cached_profile`, :func:`cached_placement`,
+  :func:`cached_measure`, :func:`cached_workload_stats`) — called by the
+  driver once a recorded trace is in hand; they key by the trace's
+  content fingerprint, so recomputation happens only when inputs really
+  changed.
+* **warm-path loads** (:func:`known_fingerprint`,
+  :func:`try_load_placement_pair`, :func:`try_load_measure`,
+  :func:`try_load_experiment`) — called *before* any workload run.  They
+  rely on the ``trace-meta`` entry that maps a (workload, input) pair to
+  its last observed trace fingerprint; when every downstream entry hits,
+  the whole experiment is reassembled from JSON and the workload is
+  never executed.  Any miss returns ``None`` and the caller falls back
+  to the recording path (which rewrites the meta entry, healing stale
+  fingerprints).
+
+The trace-meta entry is the one deliberate trust-on-record point: the
+workloads are deterministic given their seeded inputs, and any code
+change rotates the salt, so a recorded fingerprint stays valid until
+either changes.  ``repro cache clear`` drops the assumption entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cache.config import CacheConfig
+from ..profiling.serialize import (
+    placement_from_dict,
+    placement_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+from .artifacts import (
+    measure_result_from_dict,
+    measure_result_to_dict,
+    workload_stats_from_dict,
+    workload_stats_to_dict,
+)
+from .keys import config_fields, digest_json, trace_fingerprint
+from .store import ArtifactStore
+
+#: Entry kinds, one directory per stage under ``objects/``.
+KIND_TRACE_META = "trace-meta"
+KIND_PROFILE = "profile"
+KIND_PLACEMENT = "placement"
+KIND_MEASURE = "measure"
+KIND_STATS = "stats"
+
+#: Effective profiler defaults (mirrors ``driver.profile_workload``).
+PROFILE_DEFAULTS = {"chunk_size": 256, "name_depth": 4, "queue_threshold": None}
+
+
+def profile_params(profiler_kwargs: dict | None = None) -> dict:
+    """Profiler knobs with defaults applied — the key's parameter block."""
+    params = dict(PROFILE_DEFAULTS)
+    if profiler_kwargs:
+        for name in params:
+            if name in profiler_kwargs:
+                params[name] = profiler_kwargs[name]
+    return params
+
+
+def placement_digest(placement) -> str:
+    """Content digest of a placement map (keys CCDP measurements)."""
+    return digest_json(placement_to_dict(placement))
+
+
+# -- key fields ---------------------------------------------------------------
+
+
+def _trace_meta_fields(workload: str, input_name: str) -> dict:
+    return {"workload": workload, "input": input_name}
+
+
+def _profile_fields(
+    fingerprint: str, config: CacheConfig | None, params: dict
+) -> dict:
+    return {
+        "trace": fingerprint,
+        "cache": config_fields(config),
+        "params": params,
+    }
+
+
+def _placement_fields(
+    fingerprint: str,
+    config: CacheConfig | None,
+    place_heap: bool,
+    engine: str,
+    params: dict,
+) -> dict:
+    return {
+        "trace": fingerprint,
+        "cache": config_fields(config),
+        "place_heap": bool(place_heap),
+        "engine": engine,
+        "params": params,
+    }
+
+
+def _measure_fields(
+    fingerprint: str,
+    config: CacheConfig | None,
+    policy: dict,
+    classify: bool,
+    track_pages: bool,
+) -> dict:
+    return {
+        "trace": fingerprint,
+        "cache": config_fields(config),
+        "policy": policy,
+        "classify": bool(classify),
+        "track_pages": bool(track_pages),
+    }
+
+
+def resolver_policy(resolver) -> dict | None:
+    """Key-field description of a placement policy, or None if unknown.
+
+    Exact-type checks only: a resolver subclass may place objects
+    differently, so it must never alias its parent's entries.
+    """
+    from ..runtime.resolvers import CCDPResolver, NaturalResolver, RandomResolver
+
+    if type(resolver) is NaturalResolver:
+        return {"kind": "natural"}
+    if type(resolver) is RandomResolver:
+        return {
+            "kind": "random",
+            "seed": resolver.seed,
+            "max_pad": resolver.max_pad,
+        }
+    if type(resolver) is CCDPResolver:
+        return {
+            "kind": "ccdp",
+            "placement": placement_digest(resolver.placement),
+            "compact_heap": bool(resolver.compact_heap),
+        }
+    return None
+
+
+# -- trace-meta ---------------------------------------------------------------
+
+
+def known_fingerprint(
+    store: ArtifactStore, workload: str, input_name: str
+) -> str | None:
+    """Last recorded trace fingerprint for (workload, input), if any."""
+    fields = _trace_meta_fields(workload, input_name)
+    payload = store.get(KIND_TRACE_META, store.key(KIND_TRACE_META, fields))
+    if not isinstance(payload, dict) or "fingerprint" not in payload:
+        return None
+    return payload["fingerprint"]
+
+
+def remember_trace(
+    store: ArtifactStore, workload: str, input_name: str, trace
+) -> str:
+    """Record (or refresh) the trace-meta entry; returns the fingerprint."""
+    fingerprint = trace_fingerprint(trace)
+    fields = _trace_meta_fields(workload, input_name)
+    digest = store.key(KIND_TRACE_META, fields)
+    payload = store.get(KIND_TRACE_META, digest)
+    if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
+        store.put(
+            KIND_TRACE_META,
+            digest,
+            fields,
+            {"fingerprint": fingerprint, "events": trace.events},
+        )
+    return fingerprint
+
+
+# -- get-or-compute stages ----------------------------------------------------
+
+
+def cached_profile(
+    store: ArtifactStore,
+    trace,
+    config: CacheConfig | None,
+    params: dict,
+    compute: Callable,
+):
+    """Profile stage: Name profile + TRG from one recorded trace."""
+    fields = _profile_fields(trace_fingerprint(trace), config, params)
+    return store.get_or_compute(
+        KIND_PROFILE,
+        fields,
+        encode=profile_to_dict,
+        decode=profile_from_dict,
+        compute=compute,
+    )
+
+
+def cached_placement(
+    store: ArtifactStore,
+    trace,
+    config: CacheConfig | None,
+    place_heap: bool,
+    engine: str,
+    params: dict,
+    compute: Callable,
+):
+    """Placement stage: the CCDP map for one (trace, geometry, placer)."""
+    fields = _placement_fields(
+        trace_fingerprint(trace), config, place_heap, engine, params
+    )
+    return store.get_or_compute(
+        KIND_PLACEMENT,
+        fields,
+        encode=placement_to_dict,
+        decode=placement_from_dict,
+        compute=compute,
+    )
+
+
+def cached_measure(
+    store: ArtifactStore,
+    trace,
+    resolver,
+    config: CacheConfig | None,
+    classify: bool,
+    track_pages: bool,
+    compute: Callable,
+):
+    """Simulation stage: miss statistics for one (trace, policy) pair.
+
+    Falls back to plain computation (no store interaction) when the
+    resolver type is unknown — a policy the key schema cannot describe
+    must never produce or consume entries.
+    """
+    policy = resolver_policy(resolver)
+    if policy is None:
+        return compute()
+    fields = _measure_fields(
+        trace_fingerprint(trace), config, policy, classify, track_pages
+    )
+    return store.get_or_compute(
+        KIND_MEASURE,
+        fields,
+        encode=measure_result_to_dict,
+        decode=measure_result_from_dict,
+        compute=compute,
+    )
+
+
+def cached_workload_stats(store: ArtifactStore, trace, compute: Callable):
+    """Statistics stage: Table 1 counters from one recorded trace."""
+    fields = {"trace": trace_fingerprint(trace)}
+    return store.get_or_compute(
+        KIND_STATS,
+        fields,
+        encode=workload_stats_to_dict,
+        decode=workload_stats_from_dict,
+        compute=compute,
+    )
+
+
+# -- warm-path loads (no workload run) ----------------------------------------
+
+
+def _load(store: ArtifactStore, kind: str, fields: dict, decode):
+    payload = store.get(kind, store.key(kind, fields))
+    if payload is None:
+        return None
+    try:
+        return decode(payload)
+    except Exception:
+        return None
+
+
+def try_load_workload_stats(
+    store: ArtifactStore, workload: str, input_name: str
+):
+    """Table 1 statistics without running the workload, or None."""
+    fingerprint = known_fingerprint(store, workload, input_name)
+    if fingerprint is None:
+        return None
+    return _load(
+        store,
+        KIND_STATS,
+        {"trace": fingerprint},
+        workload_stats_from_dict,
+    )
+
+
+def try_load_placement_pair(
+    store: ArtifactStore,
+    workload: str,
+    train_input: str,
+    config: CacheConfig | None,
+    place_heap: bool,
+    engine: str,
+    profiler_kwargs: dict | None = None,
+):
+    """(profile, placement) without running the workload, or None."""
+    fingerprint = known_fingerprint(store, workload, train_input)
+    if fingerprint is None:
+        return None
+    params = profile_params(profiler_kwargs)
+    profile = _load(
+        store,
+        KIND_PROFILE,
+        _profile_fields(fingerprint, config, params),
+        profile_from_dict,
+    )
+    if profile is None:
+        return None
+    placement = _load(
+        store,
+        KIND_PLACEMENT,
+        _placement_fields(fingerprint, config, place_heap, engine, params),
+        placement_from_dict,
+    )
+    if placement is None:
+        return None
+    return profile, placement
+
+
+def try_load_measure(
+    store: ArtifactStore,
+    workload: str,
+    input_name: str,
+    config: CacheConfig | None,
+    policy: dict,
+    classify: bool,
+    track_pages: bool,
+):
+    """One placement measurement without running the workload, or None."""
+    fingerprint = known_fingerprint(store, workload, input_name)
+    if fingerprint is None:
+        return None
+    return _load(
+        store,
+        KIND_MEASURE,
+        _measure_fields(fingerprint, config, policy, classify, track_pages),
+        measure_result_from_dict,
+    )
+
+
+def try_load_experiment(
+    store: ArtifactStore,
+    workload,
+    train_input: str,
+    test_input: str,
+    config: CacheConfig | None,
+    include_random: bool,
+    random_seed: int,
+    classify: bool,
+    track_pages: bool,
+    place_heap: bool | None = None,
+    placement_engine: str = "array",
+):
+    """Reassemble a full ExperimentResult from the store, or None.
+
+    Every stage must hit; a single miss abandons the warm path so the
+    normal recording pipeline (which back-fills the missing entries)
+    runs instead.
+    """
+    from ..runtime.driver import ExperimentResult
+    from ..runtime.resolvers import RandomResolver
+
+    resolved_heap = workload.place_heap if place_heap is None else place_heap
+    pair = try_load_placement_pair(
+        store, workload.name, train_input, config, resolved_heap, placement_engine
+    )
+    if pair is None:
+        return None
+    profile, placement = pair
+
+    ccdp_policy = {
+        "kind": "ccdp",
+        "placement": placement_digest(placement),
+        "compact_heap": False,
+    }
+
+    def load_measure(policy: dict):
+        return try_load_measure(
+            store, workload.name, test_input, config, policy, classify, track_pages
+        )
+
+    original = load_measure({"kind": "natural"})
+    if original is None:
+        return None
+    ccdp = load_measure(ccdp_policy)
+    if ccdp is None:
+        return None
+    random_result = None
+    if include_random:
+        random_result = load_measure(
+            resolver_policy(RandomResolver(seed=random_seed))
+        )
+        if random_result is None:
+            return None
+    return ExperimentResult(
+        workload=workload.name,
+        train_input=train_input,
+        test_input=test_input,
+        profile=profile,
+        placement=placement,
+        original=original,
+        ccdp=ccdp,
+        random=random_result,
+    )

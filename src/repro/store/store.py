@@ -1,0 +1,325 @@
+"""The persistent, content-addressed artifact store.
+
+Entries live under ``<root>/objects/<kind>/<digest[:2]>/<digest>.json``,
+where the digest is :func:`repro.store.keys.store_key` over the stage's
+key fields plus the code-version salt.  Each file is a small envelope::
+
+    {"format": 1, "kind": "...", "salt": "...", "fields": {...},
+     "payload_sha256": "...", "payload": {...}}
+
+Writes are atomic (temp file + ``os.replace``), so a crashed run can
+leave at worst an orphaned temp file, never a half-written entry under
+its final name.  Reads are *defensive*: a truncated file, undecodable
+JSON, a payload that fails its embedded digest, or a salt from another
+code version are all treated as a miss — the entry is deleted and the
+caller recomputes and rewrites, mirroring how the trace layer degrades
+on :class:`~repro.trace.sinks.TraceError` rather than crashing a sweep.
+
+Every consultation is mirrored to the observability layer: ``store.hit``
+/ ``store.miss`` / ``store.corrupt`` count lookups, ``store.write``
+counts inserts, and ``store.bytes`` accumulates bytes written.  The
+instance keeps the same tallies locally so a CLI run can summarize cache
+effectiveness even with no telemetry registry installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs import telemetry as obs
+from .keys import STORE_FORMAT, canonical_json, code_salt, digest_bytes, store_key
+
+#: Default store location when neither ``--cache-dir`` nor the
+#: ``REPRO_CACHE_DIR`` environment variable names one.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment variable naming the store root for CLI runs.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class StoreEntryError(Exception):
+    """An on-disk entry failed validation (corrupt, stale, truncated)."""
+
+
+@dataclass
+class StoreCounters:
+    """Per-instance lookup/write tallies (mirrored to ``obs`` counters)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+    bytes_written: int = 0
+
+
+@dataclass
+class StoreStats:
+    """Aggregate picture of what is on disk (``repro cache stats``)."""
+
+    root: str
+    entries: int = 0
+    bytes: int = 0
+    stale: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifact store rooted at one directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.counters = StoreCounters()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def entry_path(self, kind: str, digest: str) -> Path:
+        return self.objects_dir / kind / digest[:2] / f"{digest}.json"
+
+    # -- lookups -------------------------------------------------------------
+
+    def key(self, kind: str, fields: dict) -> str:
+        """Digest identifying the entry for ``fields`` under ``kind``."""
+        return store_key(kind, fields)
+
+    def get(self, kind: str, digest: str):
+        """Payload for an entry, or ``None`` on miss/corruption.
+
+        Any validation failure — unreadable file, truncated or
+        undecodable JSON, wrong kind, a payload that fails its embedded
+        digest, or a salt from a different code version — deletes the
+        entry and reports a miss, so callers always fall back to
+        recompute-and-rewrite.
+        """
+        path = self.entry_path(kind, digest)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self._miss()
+            return None
+        try:
+            payload = self._validate(raw, kind)
+        except StoreEntryError:
+            self.counters.corrupt += 1
+            obs.count("store.corrupt")
+            self._discard(path)
+            self._miss()
+            return None
+        self.counters.hits += 1
+        obs.count("store.hit")
+        try:
+            os.utime(path)  # LRU recency for gc
+        except OSError:
+            pass
+        return payload
+
+    def _validate(self, raw: str, kind: str):
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StoreEntryError(f"undecodable entry: {exc}") from exc
+        if not isinstance(envelope, dict) or envelope.get("kind") != kind:
+            raise StoreEntryError("entry kind mismatch")
+        if envelope.get("format") != STORE_FORMAT:
+            raise StoreEntryError("store format mismatch")
+        if envelope.get("salt") != code_salt():
+            raise StoreEntryError("code-version salt mismatch")
+        if "payload" not in envelope:
+            raise StoreEntryError("entry has no payload")
+        payload = envelope["payload"]
+        recorded = envelope.get("payload_sha256")
+        actual = digest_bytes(canonical_json(payload).encode("utf-8"))
+        if recorded != actual:
+            raise StoreEntryError("payload digest mismatch")
+        return payload
+
+    def _miss(self) -> None:
+        self.counters.misses += 1
+        obs.count("store.miss")
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- inserts -------------------------------------------------------------
+
+    def put(self, kind: str, digest: str, fields: dict, payload) -> None:
+        """Write one entry atomically (idempotent: last write wins)."""
+        envelope = {
+            "format": STORE_FORMAT,
+            "kind": kind,
+            "salt": code_salt(),
+            "fields": fields,
+            "payload_sha256": digest_bytes(
+                canonical_json(payload).encode("utf-8")
+            ),
+            "payload": payload,
+        }
+        path = self.entry_path(kind, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(envelope).encode("utf-8")
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            temp.write_bytes(data)
+            os.replace(temp, path)
+        finally:
+            if temp.exists():
+                self._discard(temp)
+        self.counters.writes += 1
+        self.counters.bytes_written += len(data)
+        obs.count("store.write")
+        obs.count("store.bytes", len(data))
+
+    def get_or_compute(self, kind: str, fields: dict, *, encode, decode, compute):
+        """Serve a decoded artifact, computing and persisting on miss.
+
+        ``decode`` failures on a hit are treated exactly like on-disk
+        corruption: the entry is dropped and the value recomputed.
+        """
+        digest = self.key(kind, fields)
+        payload = self.get(kind, digest)
+        if payload is not None:
+            try:
+                return decode(payload)
+            except Exception:
+                self.counters.corrupt += 1
+                obs.count("store.corrupt")
+                self._discard(self.entry_path(kind, digest))
+        value = compute()
+        self.put(kind, digest, fields, encode(value))
+        return value
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _entries(self):
+        if not self.objects_dir.is_dir():
+            return
+        for path in self.objects_dir.rglob("*.json"):
+            if path.name.startswith("."):
+                continue
+            yield path
+
+    def stats(self) -> StoreStats:
+        """Walk the tree and summarize entry counts, bytes, staleness."""
+        summary = StoreStats(root=str(self.root))
+        salt = code_salt()
+        for path in self._entries():
+            kind = path.parent.parent.name
+            summary.entries += 1
+            summary.by_kind[kind] = summary.by_kind.get(kind, 0) + 1
+            try:
+                stat = path.stat()
+                summary.bytes += stat.st_size
+                with open(path) as handle:
+                    if json.load(handle).get("salt") != salt:
+                        summary.stale += 1
+            except (OSError, json.JSONDecodeError):
+                summary.stale += 1
+        return summary
+
+    def gc(
+        self, max_bytes: int | None = None, max_age_days: float | None = None
+    ) -> tuple[int, int]:
+        """Evict entries; returns ``(entries_removed, bytes_removed)``.
+
+        Three passes, cheapest first: entries from other code versions
+        (or unreadable ones) always go; entries older than
+        ``max_age_days`` go next; then oldest-first eviction until the
+        store fits ``max_bytes``.
+        """
+        salt = code_salt()
+        now = time.time()
+        removed = removed_bytes = 0
+        survivors: list[tuple[float, int, Path]] = []
+        for path in self._entries():
+            try:
+                stat = path.stat()
+                with open(path) as handle:
+                    stale = json.load(handle).get("salt") != salt
+            except (OSError, json.JSONDecodeError):
+                stale = True
+                stat = None
+            age_days = (now - stat.st_mtime) / 86400.0 if stat else 0.0
+            if stale or (max_age_days is not None and age_days > max_age_days):
+                removed += 1
+                removed_bytes += stat.st_size if stat else 0
+                self._discard(path)
+                continue
+            survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None:
+            total = sum(size for _mtime, size, _path in survivors)
+            for _mtime, size, path in sorted(survivors):
+                if total <= max_bytes:
+                    break
+                self._discard(path)
+                total -= size
+                removed += 1
+                removed_bytes += size
+        return removed, removed_bytes
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            self._discard(path)
+            removed += 1
+        return removed
+
+    def summary_line(self) -> str:
+        """One greppable line of this run's cache effectiveness."""
+        tallies = self.counters
+        return (
+            f"[store] hits={tallies.hits} misses={tallies.misses} "
+            f"corrupt={tallies.corrupt} writes={tallies.writes} "
+            f"bytes_written={tallies.bytes_written} root={self.root}"
+        )
+
+
+# -- the active store ---------------------------------------------------------
+
+_active: ArtifactStore | None = None
+
+
+def current_store() -> ArtifactStore | None:
+    """The installed artifact store, or None when caching is off."""
+    return _active
+
+
+def set_store(store: ArtifactStore | None) -> ArtifactStore | None:
+    """Install ``store`` as the active store; returns the previous one."""
+    global _active
+    previous = _active
+    _active = store
+    return previous
+
+
+class use_store:
+    """Context manager installing a store for a ``with`` block."""
+
+    def __init__(self, store: ArtifactStore | None):
+        self._store = store
+        self._previous: ArtifactStore | None = None
+
+    def __enter__(self) -> ArtifactStore | None:
+        self._previous = set_store(self._store)
+        return self._store
+
+    def __exit__(self, *exc_info) -> bool:
+        set_store(self._previous)
+        return False
+
+
+def resolve_cache_dir(cache_dir: str | None = None) -> str:
+    """Store root for a CLI run: flag > ``REPRO_CACHE_DIR`` > default."""
+    if cache_dir:
+        return cache_dir
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR

@@ -23,6 +23,17 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 
 
 @pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the CLI's default artifact store at a per-test directory.
+
+    Without this, any test invoking ``repro run``/``tables``/``report``
+    through :func:`repro.cli.main` would create (and share) a
+    ``.repro-cache`` directory in the repository root.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-store"))
+
+
+@pytest.fixture(autouse=True)
 def _conservation_invariants_on():
     """Keep miss-attribution conservation checks on for every test.
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cache.config import CacheConfig
 from repro.core.algorithm import CCDPPlacer
 from repro.profiling.profiler import ProfilerSink

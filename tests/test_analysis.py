@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.heap_scatter import (
-    HeapPoint,
     heap_scatter,
     scatter_correlation,
 )

@@ -111,3 +111,57 @@ class TestSummaryAndTables:
         text = script_path.read_text()
         assert "SECTIONS" in text
         assert "__stack_start" in text
+
+
+class TestStoreCommands:
+    def test_tables_programs_subset(self, capsys):
+        assert main(["tables", "table2", "--programs", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+        assert "deltablue" not in out
+
+    def test_tables_programs_rejects_unknown(self, capsys):
+        assert main(["tables", "table2", "--programs", "doom"]) == 2
+        assert "unknown programs" in capsys.readouterr().err
+
+    def test_tables_programs_rejects_unsupported_table(self, capsys):
+        assert (
+            main(["tables", "sampling", "--programs", "compress,go"]) == 2
+        )
+        assert "does not take" in capsys.readouterr().err
+
+    def test_warm_rerun_hits_and_matches(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        argv = [
+            "tables", "table2", "--programs", "compress",
+            "--cache-dir", store_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert " misses=0 " in warm.err
+
+    def test_no_cache_skips_store(self, tmp_path, capsys):
+        assert main([
+            "tables", "table3", "--programs", "compress", "--no-cache",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "[store]" not in captured.err
+
+    def test_cache_stats_gc_clear(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main([
+            "run", "compress", "--cache-dir", store_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "placement" in out
+        assert main([
+            "cache", "gc", "--max-bytes", "0", "--cache-dir", store_dir,
+        ]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", store_dir]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out

@@ -71,7 +71,7 @@ class TestMerge:
         assert cost == 0
         lines1 = set(range(node1.offsets[1] // 32, node1.offsets[1] // 32 + 8))
         lines2_start = (node1.offsets[2] // 32) % 32
-        assert lines2_start % 32 not in {l % 32 for l in lines1}
+        assert lines2_start % 32 not in {line % 32 for line in lines1}
 
     def test_merge_absorbs_entities(self):
         merger = make_merger()

@@ -6,7 +6,6 @@ from repro.analysis.conflicts import (
     conflict_report,
     measured_conflicts,
     predicted_conflicts,
-    render_conflicts,
     total_cross_object_evictions,
 )
 from repro.cache.config import CacheConfig

@@ -10,7 +10,6 @@ from repro.experiments.extensions import (
     run_overhead_report,
     run_sampling_study,
 )
-from repro.cache.config import CacheConfig
 
 
 @pytest.fixture(autouse=True)

@@ -10,7 +10,6 @@ from repro.cache.simulator import CacheStats
 from repro.obs import invariants
 from repro.obs.report import RunReport, run_report
 from repro.obs.telemetry import Span, Telemetry, count, current, gauge, span, use
-from repro.core.algorithm import CCDPPlacer
 from repro.core.placement_map import PlacementStats
 from repro.profiling.serialize import placement_from_dict, placement_to_dict
 from repro.runtime.driver import build_placement, run_experiment

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cache.config import CacheConfig
 from repro.profiling.profile_data import STACK_ENTITY_ID
 from repro.profiling.profiler import ProfilerSink
-from repro.trace.events import Category, ObjectInfo, STACK_OBJECT_ID
+from repro.trace.events import Category
 from repro.vm.program import Program
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cache.config import CacheConfig
 from repro.core.algorithm import CCDPPlacer
 from repro.profiling.profiler import ProfilerSink
 from repro.profiling.sampling import SamplingProfilerSink, sampled_profile

@@ -1,0 +1,191 @@
+"""Defensive reads: corrupt store entries degrade to recompute-and-rewrite.
+
+A truncated file, a tampered payload, an envelope from another code
+version, or an undecodable artifact must never crash a run or serve
+wrong data — the store treats each as a miss, deletes the entry, and the
+caller recomputes and rewrites it (mirroring how the trace layer
+degrades on :class:`~repro.trace.sinks.TraceError`).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import ArtifactStore, use_store
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def put_entry(store, payload=None, kind="profile", fields=None):
+    fields = fields or {"trace": "abc"}
+    digest = store.key(kind, fields)
+    store.put(kind, digest, fields, payload or {"value": 1})
+    return digest, store.entry_path(kind, digest)
+
+
+class TestCorruptEntries:
+    def test_roundtrip_hit(self, store):
+        digest, _path = put_entry(store, {"value": 42})
+        assert store.get("profile", digest) == {"value": 42}
+        assert store.counters.hits == 1
+
+    def test_truncated_payload(self, store):
+        digest, path = put_entry(store)
+        path.write_text(path.read_text()[:40])
+        assert store.get("profile", digest) is None
+        assert store.counters.corrupt == 1
+        assert not path.exists(), "corrupt entry must be deleted"
+
+    def test_empty_file(self, store):
+        digest, path = put_entry(store)
+        path.write_text("")
+        assert store.get("profile", digest) is None
+        assert store.counters.corrupt == 1
+
+    def test_tampered_payload_fails_digest(self, store):
+        digest, path = put_entry(store, {"value": 1})
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["value"] = 2  # digest no longer matches
+        path.write_text(json.dumps(envelope))
+        assert store.get("profile", digest) is None
+        assert store.counters.corrupt == 1
+        assert not path.exists()
+
+    def test_version_salt_mismatch(self, store, monkeypatch):
+        digest, path = put_entry(store)
+        monkeypatch.setenv("REPRO_CACHE_SALT", "a-newer-code-version")
+        assert store.get("profile", digest) is None
+        assert store.counters.corrupt == 1
+        assert not path.exists(), "stale-salt entry must be evicted"
+
+    def test_kind_mismatch(self, store):
+        digest, _path = put_entry(store, kind="profile")
+        target = store.entry_path("placement", digest)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(store.entry_path("profile", digest).read_text())
+        assert store.get("placement", digest) is None
+        assert store.counters.corrupt == 1
+
+    def test_missing_entry_is_plain_miss(self, store):
+        assert store.get("profile", "0" * 64) is None
+        assert store.counters.misses == 1
+        assert store.counters.corrupt == 0
+
+
+class TestRecomputeAndRewrite:
+    def test_get_or_compute_recovers(self, store):
+        fields = {"trace": "abc"}
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 7}
+
+        identity = dict
+        first = store.get_or_compute(
+            "profile", fields, encode=identity, decode=identity, compute=compute
+        )
+        # Corrupt the freshly written entry in place.
+        path = store.entry_path("profile", store.key("profile", fields))
+        path.write_text(path.read_text()[:25])
+        second = store.get_or_compute(
+            "profile", fields, encode=identity, decode=identity, compute=compute
+        )
+        assert first == second == {"value": 7}
+        assert len(calls) == 2, "corruption must trigger recompute"
+        assert path.exists(), "recompute must rewrite the entry"
+        # Third call: the rewritten entry serves a clean hit.
+        third = store.get_or_compute(
+            "profile", fields, encode=identity, decode=identity, compute=compute
+        )
+        assert third == {"value": 7}
+        assert len(calls) == 2
+
+    def test_decode_failure_treated_as_corruption(self, store):
+        fields = {"trace": "abc"}
+
+        def bad_decode(payload):
+            raise ValueError("schema drift")
+
+        store.put("profile", store.key("profile", fields), fields, {"v": 1})
+        value = store.get_or_compute(
+            "profile",
+            fields,
+            encode=dict,
+            decode=bad_decode,
+            compute=lambda: {"v": 2},
+        )
+        assert value == {"v": 2}
+        assert store.counters.corrupt == 1
+
+    def test_pipeline_recovers_from_truncation(
+        self, tmp_path, toy_workload, small_cache
+    ):
+        """End-to-end: a truncated placement entry heals on the next run."""
+        from repro.profiling.serialize import placement_to_dict
+        from repro.runtime.driver import build_placement
+        from repro.trace.buffer import record_trace
+
+        root = tmp_path / "store"
+        trace = record_trace(toy_workload, toy_workload.train_input)
+        with use_store(ArtifactStore(root)):
+            _, placement_cold = build_placement(
+                toy_workload, cache_config=small_cache, trace=trace
+            )
+        for path in (root / "objects" / "placement").rglob("*.json"):
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        rerun = ArtifactStore(root)
+        with use_store(rerun):
+            _, placement_warm = build_placement(
+                toy_workload, cache_config=small_cache, trace=trace
+            )
+        assert rerun.counters.corrupt >= 1
+        assert rerun.counters.writes >= 1, "entry must be rewritten"
+        assert placement_to_dict(placement_warm) == placement_to_dict(
+            placement_cold
+        )
+
+
+class TestGcAndClear:
+    def test_gc_removes_stale_salt(self, store, monkeypatch):
+        put_entry(store, fields={"trace": "a"})
+        monkeypatch.setenv("REPRO_CACHE_SALT", "next-version")
+        removed, removed_bytes = store.gc()
+        assert removed == 1
+        assert removed_bytes > 0
+        assert store.stats().entries == 0
+
+    def test_gc_max_bytes_keeps_newest(self, store):
+        import os
+        import time
+
+        first, first_path = put_entry(store, fields={"trace": "a"})
+        second, second_path = put_entry(store, fields={"trace": "b"})
+        old = time.time() - 1000
+        os.utime(first_path, (old, old))
+        size = second_path.stat().st_size
+        removed, _bytes = store.gc(max_bytes=size)
+        assert removed == 1
+        assert not first_path.exists()
+        assert second_path.exists()
+
+    def test_gc_max_age(self, store):
+        import os
+        import time
+
+        _digest, path = put_entry(store)
+        old = time.time() - 10 * 86400
+        os.utime(path, (old, old))
+        removed, _bytes = store.gc(max_age_days=5)
+        assert removed == 1
+
+    def test_clear(self, store):
+        put_entry(store, fields={"trace": "a"})
+        put_entry(store, fields={"trace": "b"})
+        assert store.clear() == 2
+        assert store.stats().entries == 0

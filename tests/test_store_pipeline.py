@@ -1,0 +1,130 @@
+"""Incremental pipeline execution on top of the artifact store.
+
+A second run of the same experiment against a warm store must (a) never
+execute the workload, (b) report zero misses, and (c) reproduce the cold
+run's results bit-for-bit.  The fan-out helpers must serve warm shards
+inline and dispatch only the cold remainder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling.serialize import placement_to_dict
+from repro.runtime.driver import run_experiment
+from repro.runtime.parallel import (
+    ExperimentSpec,
+    PlacementSpec,
+    run_experiments,
+    run_placements,
+)
+from repro.store import ArtifactStore, use_store
+from repro.workloads import make_workload
+
+
+def assert_same_experiment(first, second):
+    assert placement_to_dict(first.placement) == placement_to_dict(
+        second.placement
+    )
+    assert first.profile == second.profile
+    for arm in ("original", "ccdp", "random"):
+        a, b = getattr(first, arm), getattr(second, arm)
+        if a is None:
+            assert b is None
+            continue
+        assert a.cache == b.cache
+        assert a.paging == b.paging
+
+
+class TestWarmExperiment:
+    @pytest.mark.parametrize("classify,track_pages", [(False, False), (True, True)])
+    def test_second_run_is_all_hits(self, tmp_path, classify, track_pages):
+        root = tmp_path / "store"
+        with use_store(ArtifactStore(root)):
+            cold = run_experiment(
+                make_workload("compress"),
+                include_random=True,
+                classify=classify,
+                track_pages=track_pages,
+            )
+        warm_store = ArtifactStore(root)
+        with use_store(warm_store):
+            warm = run_experiment(
+                make_workload("compress"),
+                include_random=True,
+                classify=classify,
+                track_pages=track_pages,
+            )
+        assert warm_store.counters.misses == 0
+        assert warm_store.counters.writes == 0
+        assert warm_store.counters.hits > 0
+        assert_same_experiment(cold, warm)
+
+    def test_warm_run_never_executes_workload(self, tmp_path, monkeypatch):
+        root = tmp_path / "store"
+        with use_store(ArtifactStore(root)):
+            run_experiment(make_workload("compress"))
+
+        def boom(self, sink, input_name):
+            raise AssertionError("workload ran on a warm store")
+
+        with use_store(ArtifactStore(root)):
+            workload = make_workload("compress")
+            monkeypatch.setattr(type(workload), "run", boom)
+            run_experiment(workload)
+
+    def test_scalar_engine_bypasses_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with use_store(store):
+            run_experiment(make_workload("compress"), engine="scalar")
+        assert store.counters.hits == 0
+        assert store.counters.writes == 0
+
+
+class TestWarmFanOut:
+    def test_run_experiments_serves_warm_shards_inline(self, tmp_path):
+        specs = [
+            ExperimentSpec(workload="compress"),
+            ExperimentSpec(workload="deltablue"),
+        ]
+        root = tmp_path / "store"
+        with use_store(ArtifactStore(root)):
+            cold = run_experiments(specs, jobs=1)
+        warm_store = ArtifactStore(root)
+        with use_store(warm_store):
+            warm = run_experiments(specs, jobs=2)
+        assert warm_store.counters.misses == 0
+        for first, second in zip(cold, warm):
+            assert_same_experiment(first, second)
+
+    def test_partial_warm_dispatches_only_cold(self, tmp_path):
+        root = tmp_path / "store"
+        with use_store(ArtifactStore(root)):
+            run_experiments([ExperimentSpec(workload="compress")], jobs=1)
+        mixed_store = ArtifactStore(root)
+        specs = [
+            ExperimentSpec(workload="compress"),
+            ExperimentSpec(workload="deltablue"),
+        ]
+        with use_store(mixed_store):
+            results = run_experiments(specs, jobs=1)
+        assert len(results) == 2
+        assert results[0].workload == "compress"
+        assert results[1].workload == "deltablue"
+        # The deltablue shard computed fresh and persisted its stages.
+        assert mixed_store.counters.writes > 0
+        rerun_store = ArtifactStore(root)
+        with use_store(rerun_store):
+            run_experiments(specs, jobs=1)
+        assert rerun_store.counters.misses == 0
+
+    def test_run_placements_warm(self, tmp_path):
+        specs = [PlacementSpec(workload="compress")]
+        root = tmp_path / "store"
+        with use_store(ArtifactStore(root)):
+            cold = run_placements(specs, jobs=1)
+        warm_store = ArtifactStore(root)
+        with use_store(warm_store):
+            warm = run_placements(specs, jobs=1)
+        assert warm_store.counters.misses == 0
+        assert placement_to_dict(cold[0]) == placement_to_dict(warm[0])

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cache.config import CacheConfig
 from repro.runtime.driver import collect_stats, run_experiment
 from repro.trace.events import Category

@@ -13,7 +13,6 @@ import numpy as np
 from repro.trace.buffer import (
     DEFAULT_CHUNK_EVENTS,
     TraceBuffer,
-    TraceRecorder,
     record_trace,
 )
 from repro.trace.events import Category

@@ -9,8 +9,6 @@ one is, not exact numbers.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.runtime.driver import collect_stats
 from repro.trace.events import Category
 from repro.trace.stats import size_breakdown
