@@ -12,7 +12,10 @@ Commands mirror the paper's workflow:
 * ``summary``  — profile/TRG summary statistics.
 * ``tables``   — regenerate one of the paper's tables/figures or one of
   the extension studies (quality, overhead, hierarchy, sampling);
-  ``--jobs N`` fans the per-program experiments out over N processes.
+  ``--jobs N`` fans the per-program experiments out over N processes
+  under a fault-tolerant dispatcher (``--max-retries``,
+  ``--task-timeout``, ``--fail-fast``/``--best-effort`` — see
+  ``docs/RELIABILITY.md``).
 * ``bench``    — time the table pipeline under the batched engine vs the
   scalar baseline and write ``BENCH_pipeline.json``; ``--placement``
   times the placement pass (array vs scalar conflict-scan engine) and
@@ -240,8 +243,18 @@ def cmd_tables(args) -> int:
 
     from . import experiments
     from .experiments.common import set_parallel_jobs
+    from .runtime import parallel
+    from .runtime.faults import FaultToleranceError, RetryPolicy
 
     set_parallel_jobs(args.jobs)
+    parallel.set_retry_policy(
+        RetryPolicy(
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            best_effort=args.best_effort,
+        )
+    )
+    parallel.reset_fanout_reports()
     runners = {
         "table1": experiments.run_table1,
         "table2": experiments.run_table2,
@@ -276,8 +289,18 @@ def cmd_tables(args) -> int:
                 f"{args.table} does not take a program subset", file=sys.stderr
             )
             return 2
-    result = runner(**kwargs)
+    try:
+        result = runner(**kwargs)
+    except FaultToleranceError as exc:
+        print(exc.report.render(), file=sys.stderr)
+        print(f"tables {args.table} aborted: {exc}", file=sys.stderr)
+        return 1
     print(result.render())
+    report = parallel.combined_fanout_report()
+    if report is not None and (
+        report.degraded or report.retries or report.timeouts or report.crashes
+    ):
+        print(report.render(), file=sys.stderr)
     return 0
 
 
@@ -468,6 +491,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of programs to run "
              "(tables that accept one)",
     )
+    p_tables.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-dispatches allowed per failing experiment shard (default 2)",
+    )
+    p_tables.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-shard wall-clock deadline in seconds "
+             "(only enforced with --jobs > 1; default: none)",
+    )
+    effort = p_tables.add_mutually_exclusive_group()
+    effort.add_argument(
+        "--fail-fast", dest="best_effort", action="store_false",
+        help="abort the whole run when any shard exhausts its retries "
+             "(the default)",
+    )
+    effort.add_argument(
+        "--best-effort", dest="best_effort", action="store_true",
+        help="complete the remaining shards when one exhausts its retries "
+             "and emit a partial-results report (exit 0)",
+    )
+    p_tables.set_defaults(best_effort=False)
     _add_store_options(p_tables, default_on=True)
 
     p_bench = sub.add_parser(

@@ -46,6 +46,8 @@ from ..runtime.driver import (
     measure,
     run_experiment,
 )
+from ..runtime import parallel
+from ..runtime.faults import ShardFailedError, TaskFailure
 from ..runtime.parallel import ExperimentSpec, run_experiments
 from ..runtime.resolvers import NaturalResolver, RandomResolver
 from ..store import current_store
@@ -62,6 +64,7 @@ HEAP_PROGRAMS = ("deltablue", "espresso", "groff", "gcc")
 TRACE_CACHE_BYTES = 256 * 1024 * 1024
 
 _experiment_cache: dict[tuple, object] = {}
+_failed_shards: dict[tuple, TaskFailure] = {}
 _trace_cache: OrderedDict[tuple[str, str], TraceRecorder] = OrderedDict()
 _trace_cache_bytes = 0
 
@@ -225,6 +228,9 @@ def cached_experiment(
     )
     result = _experiment_cache.get(key)
     if result is None:
+        failure = _failed_shards.get(key)
+        if failure is not None:
+            raise ShardFailedError(name, failure)
         workload = make_workload(name)
         test = workload.train_input if same_input else workload.test_input
         batched = _engine != "scalar"
@@ -263,6 +269,13 @@ def prefetch_experiments(
     workers (default: :func:`parallel_jobs`) and merges the results into
     the memo cache.  With one job or at most one missing program this is
     a no-op — the per-program getters compute inline as before.
+
+    Under a best-effort retry policy a shard that exhausts its retries
+    comes back as a ``None`` hole; the shard is recorded as *failed* so
+    :func:`cached_experiment` raises
+    :class:`~repro.runtime.faults.ShardFailedError` instead of silently
+    recomputing it inline (outside the retry machinery).  The degrading
+    harnesses catch that error and drop the shard from their output.
     """
     jobs = _parallel_jobs if jobs is None else jobs
     config = cache_config or paper_cache()
@@ -288,10 +301,22 @@ def prefetch_experiments(
         )
         for name in missing
     ]
-    for name, result in zip(missing, run_experiments(specs, jobs=jobs)):
+    results = run_experiments(specs, jobs=jobs)
+    report = parallel.last_fanout_report()
+    failures = (
+        {failure.label: failure for failure in report.failures}
+        if report is not None
+        else {}
+    )
+    for name, result in zip(missing, results):
         key = _experiment_key(
             name, same_input, include_random, classify, track_pages, config
         )
+        if result is None:
+            failure = failures.get(name)
+            if failure is not None:
+                _failed_shards[key] = failure
+            continue
         _experiment_cache[key] = result
 
 
@@ -398,5 +423,6 @@ def clear_cache() -> None:
     """Drop all memoized experiment artifacts (used by tests)."""
     global _trace_cache_bytes
     _experiment_cache.clear()
+    _failed_shards.clear()
     _trace_cache.clear()
     _trace_cache_bytes = 0

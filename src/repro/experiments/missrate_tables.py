@@ -10,7 +10,7 @@ cache with 32-byte lines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis.missrates import (
     MissRateRow,
@@ -19,15 +19,22 @@ from ..analysis.missrates import (
     average_row,
 )
 from ..reporting.tables import render_table
+from ..runtime.faults import ShardFailedError
 from .common import all_programs, cached_experiment, prefetch_experiments
 
 
 @dataclass
 class MissRateTableResult:
-    """Rows of Table 2 or Table 4 plus the Average line."""
+    """Rows of Table 2 or Table 4 plus the Average line.
+
+    ``skipped`` lists programs whose experiment shard was degraded in a
+    best-effort run — their rows are absent and the averages cover only
+    the programs that completed.
+    """
 
     title: str
     rows: list[MissRateRow]
+    skipped: list[str] = field(default_factory=list)
 
     @property
     def average(self) -> MissRateRow:
@@ -72,14 +79,26 @@ class MissRateTableResult:
                 + row.ccdp.as_tuple()
                 + (row.pct_reduction,)
             )
-        return render_table(headers, body, title=self.title)
+        table = render_table(headers, body, title=self.title)
+        if self.skipped:
+            table += (
+                "\n(skipped after retry exhaustion: "
+                + ", ".join(self.skipped)
+                + ")"
+            )
+        return table
 
 
 def _build(title: str, same_input: bool, programs: list[str] | None):
     rows = []
+    skipped = []
     prefetch_experiments(programs or all_programs(), same_input=same_input)
     for name in programs or all_programs():
-        result = cached_experiment(name, same_input=same_input)
+        try:
+            result = cached_experiment(name, same_input=same_input)
+        except ShardFailedError:
+            skipped.append(name)
+            continue
         rows.append(
             MissRateRow(
                 program=name,
@@ -87,7 +106,7 @@ def _build(title: str, same_input: bool, programs: list[str] | None):
                 ccdp=PlacementMissRates.from_stats(result.ccdp.cache),
             )
         )
-    return MissRateTableResult(title=title, rows=rows)
+    return MissRateTableResult(title=title, rows=rows, skipped=skipped)
 
 
 def run_table2(programs: list[str] | None = None) -> MissRateTableResult:

@@ -70,9 +70,7 @@ def cache_stats_failures(stats: CacheStats) -> list[str]:
             f"total is {stats.accesses}"
         )
     if stats.misses > stats.accesses:
-        failures.append(
-            f"misses ({stats.misses}) exceed accesses ({stats.accesses})"
-        )
+        failures.append(f"misses ({stats.misses}) exceed accesses ({stats.accesses})")
     three_cs = stats.compulsory + stats.capacity + stats.conflict
     if three_cs and three_cs != stats.misses:
         failures.append(
@@ -87,18 +85,12 @@ def workload_stats_failures(stats: WorkloadStats) -> list[str]:
     total = stats.memory_refs
     cat_refs = sum(stats.refs_by_category.values())
     if cat_refs != total:
-        failures.append(
-            f"per-category references sum to {cat_refs}, total is {total}"
-        )
+        failures.append(f"per-category references sum to {cat_refs}, total is {total}")
     obj_refs = sum(stats.refs_by_object.values())
     if obj_refs != total:
-        failures.append(
-            f"per-object references sum to {obj_refs}, total is {total}"
-        )
+        failures.append(f"per-object references sum to {obj_refs}, total is {total}")
     if stats.loads + stats.stores != total:
-        failures.append(
-            f"loads ({stats.loads}) + stores ({stats.stores}) != {total}"
-        )
+        failures.append(f"loads ({stats.loads}) + stores ({stats.stores}) != {total}")
     return failures
 
 

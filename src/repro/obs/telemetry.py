@@ -145,13 +145,15 @@ class Telemetry:
             "spans": [root.to_dict() for root in self.roots],
         }
 
-    def merge_child(self, payload: dict, label: str | None = None) -> None:
+    def merge_child(self, payload: dict, label: str | None = None, **meta) -> None:
         """Merge a worker registry exported with :meth:`to_dict`.
 
         Counters are summed into this registry (they are monotonic, so
         per-worker sums compose); gauges are last-write-wins; the
         worker's span roots are attached under one wrapper span named
-        ``label`` (or ``"child"``) at the current nesting point.
+        ``label`` (or ``"child"``) at the current nesting point.  Extra
+        keyword annotations (e.g. the retry ``attempt`` that produced
+        this worker's result) land in the wrapper span's meta.
         """
         for name, amount in payload.get("counters", {}).items():
             self.count(name, amount)
@@ -162,6 +164,7 @@ class Telemetry:
             name=label or "child",
             seconds=sum(root.seconds for root in roots),
             children=roots,
+            meta=dict(meta),
         )
         self.attach_span(wrapper)
 

@@ -75,9 +75,7 @@ def _pipeline_events(programs: list[str]) -> int:
     return total
 
 
-def _run_arm(
-    engine: str, programs: list[str], jobs: int
-) -> dict[str, object]:
+def _run_arm(engine: str, programs: list[str], jobs: int) -> dict[str, object]:
     from ..experiments.common import (
         clear_cache,
         set_engine,
@@ -114,9 +112,7 @@ def _kernel_microbench(
     engine = BatchCacheSimulator(config)
     for begin in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
         chunk = slice(begin, begin + DEFAULT_CHUNK_EVENTS)
-        engine.consume(
-            addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk]
-        )
+        engine.consume(addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk])
     batch_s = time.perf_counter() - start
 
     from ..trace.events import Category
@@ -434,9 +430,7 @@ def render_bench(result: dict[str, object]) -> str:
     scalar = result["arms"]["scalar"]
     batched = result["arms"]["batched"]
     kernel = result["kernel"]
-    lines.append(
-        f"pipeline ({', '.join(result['programs'])}; jobs={result['jobs']}):"
-    )
+    lines.append(f"pipeline ({', '.join(result['programs'])}; jobs={result['jobs']}):")
     for label in scalar["tables_s"]:
         lines.append(
             f"  {label:<8} scalar {scalar['tables_s'][label]:6.2f}s"

@@ -169,9 +169,7 @@ def measure_trace(
 
     def compute() -> MeasureResult:
         with obs.span("simulate", events=trace.events):
-            engine = BatchCacheSimulator(
-                cache_config, classify=classify, parity=parity
-            )
+            engine = BatchCacheSimulator(cache_config, classify=classify, parity=parity)
             pages = PageTracker() if track_pages else None
             addr = trace.resolve(resolver)
             obj, _offset, size, cat, store = trace.columns()
@@ -376,9 +374,7 @@ def run_experiment(
 
             def provider(wl: Workload, input_name: str) -> TraceRecorder:
                 trace = inner_provider(wl, input_name)
-                store_stages.remember_trace(
-                    artifact_store, wl.name, input_name, trace
-                )
+                store_stages.remember_trace(artifact_store, wl.name, input_name, trace)
                 return trace
 
         train_trace = provider(workload, train)
@@ -392,9 +388,7 @@ def run_experiment(
                 place_heap=place_heap,
                 trace=train_trace,
             )
-        test_trace = (
-            train_trace if test == train else provider(workload, test)
-        )
+        test_trace = train_trace if test == train else provider(workload, test)
     with obs.span("measure.original"):
         original = measure(
             workload,

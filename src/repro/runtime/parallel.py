@@ -1,4 +1,4 @@
-"""Parallel experiment fan-out across worker processes.
+"""Parallel experiment fan-out across worker processes, fault-tolerant.
 
 The experiments are embarrassingly parallel at the (workload, config,
 placement-set) granularity: each full pipeline run touches no shared
@@ -14,19 +14,39 @@ downstream table sees pre-computed entries.
 Worker processes rebuild workloads from their registry names — specs
 carry only strings and a :class:`~repro.cache.config.CacheConfig` — so
 nothing non-picklable ever crosses the process boundary.
+
+Dispatch is *resilient* (:mod:`repro.runtime.faults`): every task runs
+under the current :class:`~repro.runtime.faults.RetryPolicy` with
+bounded retries, exponential backoff, and an optional per-task deadline.
+A dead worker pool (crash) is respawned and its in-flight tasks
+re-dispatched; a hung worker is detected by deadline, the pool is
+killed, and the surviving tasks re-dispatched without losing an attempt.
+In best-effort mode a task that exhausts its retries is recorded in a
+:class:`~repro.runtime.faults.FanoutReport` (see
+:func:`last_fanout_report`) while the remaining shards complete; in
+fail-fast mode the fan-out raises
+:class:`~repro.runtime.faults.FaultToleranceError`.  Because completed
+stages land in the content-addressed artifact store as they finish, a
+rerun after any failure resumes from those checkpoints and re-executes
+only the failed shards.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
+from typing import Callable
 
 from ..cache.config import CacheConfig
 from ..obs import telemetry as obs
 from ..store import ArtifactStore, current_store, use_store
 from ..store import stages as store_stages
+from . import faults
 from .driver import ExperimentResult
+from .faults import FanoutReport, FaultPlan, RetryPolicy, TaskFailure
 
 
 @dataclass(frozen=True)
@@ -63,6 +83,51 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+# -- retry policy and fan-out reports -----------------------------------------
+
+_policy = RetryPolicy()
+_reports: list[FanoutReport] = []
+
+
+def set_retry_policy(policy: RetryPolicy) -> None:
+    """Install the fan-out retry policy (the CLI flag plumbing)."""
+    global _policy
+    _policy = policy
+
+
+def current_retry_policy() -> RetryPolicy:
+    """The installed fan-out retry policy."""
+    return _policy
+
+
+def reset_fanout_reports() -> None:
+    """Drop the accumulated per-fan-out reports (start of a command)."""
+    _reports.clear()
+
+
+def fanout_reports() -> list[FanoutReport]:
+    """Every fan-out report accumulated since the last reset."""
+    return list(_reports)
+
+
+def last_fanout_report() -> FanoutReport | None:
+    """The most recent fan-out's report, if any fan-out has run."""
+    return _reports[-1] if _reports else None
+
+
+def combined_fanout_report() -> FanoutReport | None:
+    """All accumulated reports folded into one, or None when empty."""
+    if not _reports:
+        return None
+    combined = FanoutReport()
+    for report in _reports:
+        combined.merge(report)
+    return combined
+
+
+# -- worker entry points ------------------------------------------------------
+
+
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     """Run one spec's full pipeline (also the worker entry point)."""
     from ..workloads import make_workload
@@ -88,106 +153,20 @@ def _install_worker_store(store_root: str | None):
     return use_store(ArtifactStore(store_root))
 
 
-def _run_spec_in_store(args: tuple[ExperimentSpec, str | None]) -> ExperimentResult:
-    """Worker entry point: run one spec with the parent's store root."""
-    spec, store_root = args
-    with _install_worker_store(store_root):
-        return run_spec(spec)
+def _experiment_entry(args: tuple) -> tuple[ExperimentResult, dict | None]:
+    """Worker entry point: one experiment with the parent's store root.
 
-
-def _run_spec_with_telemetry(
-    args: tuple[ExperimentSpec, str | None],
-) -> tuple[ExperimentResult, dict]:
-    """Worker entry point: run one spec under a private registry.
-
-    The worker builds its own :class:`~repro.obs.telemetry.Telemetry`,
-    runs the pipeline inside it (and inside the parent's artifact store,
-    when one was active), and ships the registry back as its picklable
-    dict form alongside the result.
+    Returns ``(result, telemetry_payload)``; the payload is ``None``
+    unless the parent asked for a private worker registry to merge.
     """
-    spec, store_root = args
+    spec, store_root, with_telemetry = args
+    if not with_telemetry:
+        with _install_worker_store(store_root):
+            return run_spec(spec), None
     registry = obs.Telemetry()
     with obs.use(registry), _install_worker_store(store_root):
         result = run_spec(spec)
     return result, registry.to_dict()
-
-
-def _warm_experiment(spec: ExperimentSpec) -> ExperimentResult | None:
-    """Reassemble one spec's result from the active store, or None."""
-    store = current_store()
-    if store is None or spec.engine == "scalar":
-        return None
-    from ..workloads import make_workload
-
-    workload = make_workload(spec.workload)
-    train = workload.train_input
-    test = train if spec.same_input else workload.test_input
-    return store_stages.try_load_experiment(
-        store,
-        workload,
-        train,
-        test,
-        spec.cache_config,
-        spec.include_random,
-        12345,
-        spec.classify,
-        spec.track_pages,
-    )
-
-
-def run_experiments(
-    specs: list[ExperimentSpec], jobs: int | None = None
-) -> list[ExperimentResult]:
-    """Run all specs, fanning out over processes when ``jobs > 1``.
-
-    Results are returned in spec order.  With one job (or one spec) the
-    work runs inline — no pool, no pickling, identical results.
-
-    With an artifact store installed, the fan-out is *incremental*:
-    every spec whose stage entries all hit is served inline from the
-    store (no worker, no workload run), only the cold remainder is
-    dispatched to the pool, and each worker installs its own handle on
-    the same store root so freshly computed shards are persisted for
-    the next sweep.
-
-    When a telemetry registry is installed in the parent, each worker
-    records into its own registry and the parent merges them back
-    (counters sum; every worker's span tree lands under one
-    ``worker[i]:<workload>`` span), so a parallel sweep reports the same
-    totals an inline run would.
-    """
-    specs = list(specs)
-    if not specs:
-        return []
-    store = current_store()
-    results: list[ExperimentResult | None] = [
-        _warm_experiment(spec) for spec in specs
-    ]
-    cold = [index for index, result in enumerate(results) if result is None]
-    if not cold:
-        return results
-    jobs = default_jobs() if jobs is None else jobs
-    jobs = max(1, min(jobs, len(cold)))
-    if jobs == 1:
-        for index in cold:
-            results[index] = run_spec(specs[index])
-        return results
-    store_root = str(store.root) if store is not None else None
-    args = [(specs[index], store_root) for index in cold]
-    parent = obs.current()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        if parent is None:
-            for index, result in zip(cold, pool.map(_run_spec_in_store, args)):
-                results[index] = result
-            return results
-        for index, (result, payload) in zip(
-            cold, pool.map(_run_spec_with_telemetry, args)
-        ):
-            parent.merge_child(
-                payload, label=f"worker[{index}]:{specs[index].workload}"
-            )
-            results[index] = result
-        return results
 
 
 def run_placement_spec(spec: PlacementSpec):
@@ -224,22 +203,497 @@ def run_placement_spec(spec: PlacementSpec):
     return placement
 
 
-def _run_placement_spec_in_store(args: tuple[PlacementSpec, str | None]):
+def _placement_entry(args: tuple) -> tuple[object, dict | None]:
     """Worker entry point: one placement job with the parent's store root."""
-    spec, store_root = args
-    with _install_worker_store(store_root):
-        return run_placement_spec(spec)
-
-
-def _run_placement_spec_with_telemetry(
-    args: tuple[PlacementSpec, str | None],
-) -> tuple[object, dict]:
-    """Worker entry point: one placement job under a private registry."""
-    spec, store_root = args
+    spec, store_root, with_telemetry = args
+    if not with_telemetry:
+        with _install_worker_store(store_root):
+            return run_placement_spec(spec), None
     registry = obs.Telemetry()
     with obs.use(registry), _install_worker_store(store_root):
         placement = run_placement_spec(spec)
     return placement, registry.to_dict()
+
+
+def _pool_entry(packed: tuple):
+    """Generic pooled task: inject scheduled faults, then run the worker.
+
+    ``packed`` is ``(worker, args, index, attempt)``.  The fault plan is
+    re-read from the environment inside the worker process so crash and
+    hang injection happen on the worker side of the process boundary.
+    """
+    worker, args, index, attempt = packed
+    plan = FaultPlan.from_env()
+    if plan:
+        fired = faults.inject(plan, index, attempt, inline=False)
+        if fired is not None:  # corrupt-result injection
+            return faults.CorruptMarker(index)
+    return worker(args)
+
+
+# -- the resilient executor ---------------------------------------------------
+
+
+def _classify(exc: BaseException) -> str:
+    """Failure kind of one task exception."""
+    if isinstance(exc, faults.InjectedTimeout):
+        return "timeout"
+    if isinstance(exc, (faults.InjectedCrash, BrokenExecutor)):
+        return "crash"
+    if isinstance(exc, faults.CorruptResultError):
+        return "corrupt"
+    return "error"
+
+
+def _register_failure(
+    report: FanoutReport,
+    policy: RetryPolicy,
+    labels: list[str],
+    index: int,
+    attempt: int,
+    kind: str,
+    message: str,
+) -> float | None:
+    """Tally one failed attempt; return the retry delay or None.
+
+    ``None`` means the task is degraded: its :class:`TaskFailure` has
+    been recorded and, under a fail-fast policy, the whole fan-out is
+    aborted here with :class:`FaultToleranceError`.
+    """
+    if kind == "timeout":
+        report.timeouts += 1
+        obs.count("faults.timeouts")
+    elif kind == "crash":
+        report.crashes += 1
+        obs.count("faults.crashes")
+    elif kind == "corrupt":
+        report.corrupt += 1
+        obs.count("faults.corrupt")
+    if attempt < policy.max_retries:
+        report.retries += 1
+        obs.count("faults.retries")
+        return policy.delay(index, attempt)
+    failure = TaskFailure(
+        index=index,
+        label=labels[index],
+        kind=kind,
+        attempts=attempt + 1,
+        error=message,
+    )
+    report.failures.append(failure)
+    obs.count("faults.degraded")
+    if not policy.best_effort:
+        raise faults.FaultToleranceError(report)
+    return None
+
+
+def _inline_map(
+    items: list,
+    labels: list[str],
+    run: Callable,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    report: FanoutReport,
+) -> list:
+    """Sequential resilient execution in the parent process.
+
+    Injected crashes and hangs are simulated with exceptions (a real
+    inline hang could not be interrupted), so the single-job path
+    exercises the same retry and degradation machinery as the pool.
+    """
+    results: list = [None] * len(items)
+    for index, args in enumerate(items):
+        attempt = 0
+        while True:
+            try:
+                if plan:
+                    fired = faults.inject(plan, index, attempt, inline=True)
+                    if fired is not None:
+                        raise faults.CorruptResultError(
+                            f"injected corrupt result at task {index}"
+                        )
+                results[index] = run(args)
+                report.completed += 1
+                break
+            except faults.FaultToleranceError:
+                raise
+            except Exception as exc:
+                kind = _classify(exc)
+                delay = _register_failure(
+                    report,
+                    policy,
+                    labels,
+                    index,
+                    attempt,
+                    kind,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                if delay is None:
+                    break
+                with obs.span(
+                    "fanout.retry",
+                    task=labels[index],
+                    attempt=attempt + 1,
+                    kind=kind,
+                ):
+                    if delay > 0:
+                        time.sleep(delay)
+                attempt += 1
+    return results
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool outright, hung workers included, and reap children.
+
+    ``shutdown(wait=True)`` would block behind a hung worker and a bare
+    ``shutdown(wait=False)`` would orphan it; terminating the worker
+    processes first makes shutdown prompt either way.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+def _pooled_map(
+    items: list,
+    labels: list[str],
+    worker: Callable,
+    jobs: int,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    finalize: Callable,
+    report: FanoutReport,
+) -> list:
+    """Resilient fan-out over a (respawnable) process pool.
+
+    At most ``jobs`` tasks are in flight, so a submitted task starts
+    immediately and its deadline can be measured from submission.  A
+    broken pool costs every in-flight task one attempt (the dead worker
+    cannot be attributed); a deadline expiry costs only the overdue
+    tasks an attempt — the survivors are re-dispatched as-is after the
+    pool is killed and respawned.
+    """
+    results: list = [None] * len(items)
+    pending: list[list] = [[index, 0, 0.0] for index in range(len(items))]
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    active: dict = {}
+
+    def settle(index: int, attempt: int, outcome) -> None:
+        if faults.is_corrupt(outcome):
+            fail(index, attempt, "corrupt", "worker returned a corrupt result")
+            return
+        results[index] = finalize(index, attempt, outcome)
+        report.completed += 1
+
+    def fail(index: int, attempt: int, kind: str, message: str) -> None:
+        delay = _register_failure(report, policy, labels, index, attempt, kind, message)
+        if delay is None:
+            return
+        with obs.span(
+            "fanout.retry", task=labels[index], attempt=attempt + 1, kind=kind
+        ):
+            pending.append([index, attempt + 1, time.monotonic() + delay])
+
+    def respawn() -> None:
+        nonlocal pool
+        _terminate_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def handle_broken() -> None:
+        # Every in-flight future is doomed with the pool; results that
+        # finished before the break are kept, the rest cost an attempt.
+        doomed = list(active.items())
+        active.clear()
+        for future, (index, attempt, _deadline) in doomed:
+            if future.done():
+                try:
+                    outcome = future.result()
+                except Exception:
+                    pass
+                else:
+                    settle(index, attempt, outcome)
+                    continue
+            fail(index, attempt, "crash", "worker process pool died")
+        respawn()
+
+    try:
+        while pending or active:
+            now = time.monotonic()
+            progressed = True
+            while progressed and len(active) < jobs and pending:
+                progressed = False
+                for entry in list(pending):
+                    if len(active) >= jobs:
+                        break
+                    index, attempt, ready_at = entry
+                    if ready_at > now:
+                        continue
+                    pending.remove(entry)
+                    deadline = (
+                        now + policy.task_timeout
+                        if policy.task_timeout
+                        else None
+                    )
+                    try:
+                        future = pool.submit(
+                            _pool_entry, (worker, items[index], index, attempt)
+                        )
+                    except Exception:
+                        # The pool broke between waits; recycle it and
+                        # put this task back unchanged.
+                        pending.append([index, attempt, 0.0])
+                        handle_broken()
+                        break
+                    active[future] = (index, attempt, deadline)
+                    progressed = True
+            if not active:
+                if not pending:
+                    break
+                ready_at = min(entry[2] for entry in pending)
+                time.sleep(max(0.0, ready_at - time.monotonic()))
+                continue
+            deadlines = [meta[2] for meta in active.values() if meta[2] is not None]
+            backoffs = [entry[2] for entry in pending if entry[2] > now]
+            wake_at = min(deadlines + backoffs) if deadlines or backoffs else None
+            timeout = (
+                None
+                if wake_at is None
+                else max(0.0, wake_at - time.monotonic()) + 0.01
+            )
+            done, _running = futures_wait(
+                set(active), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if done:
+                broken = False
+                for future in done:
+                    index, attempt, _deadline = active.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor as exc:
+                        broken = True
+                        fail(
+                            index,
+                            attempt,
+                            "crash",
+                            f"worker process died ({exc})",
+                        )
+                    except Exception as exc:
+                        fail(
+                            index,
+                            attempt,
+                            _classify(exc),
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    else:
+                        settle(index, attempt, outcome)
+                if broken:
+                    handle_broken()
+                continue
+            now = time.monotonic()
+            expired = [
+                (future, meta)
+                for future, meta in active.items()
+                if meta[2] is not None and meta[2] <= now and not future.done()
+            ]
+            if not expired:
+                continue
+            for future, (index, attempt, _deadline) in expired:
+                del active[future]
+                fail(
+                    index,
+                    attempt,
+                    "timeout",
+                    f"task exceeded its {policy.task_timeout:.3g}s deadline",
+                )
+            # A hung worker cannot be cancelled: kill the pool and
+            # re-dispatch the unexpired survivors without charging them.
+            survivors = list(active.values())
+            active.clear()
+            for index, attempt, _deadline in survivors:
+                pending.append([index, attempt, 0.0])
+            respawn()
+    finally:
+        _terminate_pool(pool)
+    return results
+
+
+def _resilient_map(
+    items: list,
+    labels: list[str],
+    worker: Callable,
+    inline: Callable,
+    jobs: int,
+    policy: RetryPolicy | None = None,
+) -> tuple[list, FanoutReport]:
+    """Run tasks under the retry policy, pooled or inline; keep order.
+
+    ``worker`` is the picklable pool entry (``worker(args) -> outcome``,
+    where an outcome is ``(result, telemetry_payload)``); ``inline`` is
+    the parent-process equivalent returning the bare result.  Failed
+    best-effort tasks leave ``None`` holes in the result list; the
+    report is also appended to the module accumulator
+    (:func:`fanout_reports`).
+    """
+    policy = _policy if policy is None else policy
+    plan = FaultPlan.from_env()
+    report = FanoutReport(total=len(items))
+    if plan:
+        report.injected = plan.planned_count(len(items))
+        obs.count("faults.injected", report.injected)
+    parent = obs.current()
+
+    def finalize(index: int, attempt: int, outcome):
+        result, payload = outcome
+        if payload is not None and parent is not None:
+            meta = {"attempt": attempt} if attempt else {}
+            parent.merge_child(
+                payload, label=f"worker[{index}]:{labels[index]}", **meta
+            )
+        return result
+
+    try:
+        if jobs == 1:
+            results = _inline_map(items, labels, inline, policy, plan, report)
+        else:
+            results = _pooled_map(
+                items, labels, worker, jobs, policy, plan, finalize, report
+            )
+    finally:
+        _reports.append(report)
+    return results, report
+
+
+# -- experiment fan-out -------------------------------------------------------
+
+
+def _warm_experiment(spec: ExperimentSpec) -> ExperimentResult | None:
+    """Reassemble one spec's result from the active store, or None."""
+    store = current_store()
+    if store is None or spec.engine == "scalar":
+        return None
+    from ..workloads import make_workload
+
+    workload = make_workload(spec.workload)
+    train = workload.train_input
+    test = train if spec.same_input else workload.test_input
+    return store_stages.try_load_experiment(
+        store,
+        workload,
+        train,
+        test,
+        spec.cache_config,
+        spec.include_random,
+        12345,
+        spec.classify,
+        spec.track_pages,
+    )
+
+
+def _experiment_checkpoints(store: ArtifactStore, spec: ExperimentSpec) -> dict:
+    """Store-checkpoint coverage for one failed experiment shard."""
+    from ..workloads import make_workload
+
+    workload = make_workload(spec.workload)
+    train = workload.train_input
+    test = train if spec.same_input else workload.test_input
+    return store_stages.checkpoint_coverage(
+        store,
+        workload,
+        train,
+        test_input=test,
+        config=spec.cache_config,
+        classify=spec.classify,
+        track_pages=spec.track_pages,
+    )
+
+
+def _attach_checkpoints(
+    report: FanoutReport, coverage_of: Callable[[TaskFailure], dict]
+) -> None:
+    """Annotate each failure with the stages a rerun will resume from."""
+    store = current_store()
+    if store is None:
+        return
+    for failure in report.failures:
+        try:
+            report.checkpoints[failure.label] = coverage_of(failure)
+        except Exception:
+            continue
+
+
+def run_experiments(
+    specs: list[ExperimentSpec],
+    jobs: int | None = None,
+    policy: RetryPolicy | None = None,
+) -> list[ExperimentResult | None]:
+    """Run all specs, fanning out over processes when ``jobs > 1``.
+
+    Results are returned in spec order.  With one job (or one spec) the
+    work runs inline — no pool, no pickling, identical results.
+
+    With an artifact store installed, the fan-out is *incremental*:
+    every spec whose stage entries all hit is served inline from the
+    store (no worker, no workload run), only the cold remainder is
+    dispatched to the pool, and each worker installs its own handle on
+    the same store root so freshly computed shards are persisted for
+    the next sweep.
+
+    When a telemetry registry is installed in the parent, each worker
+    records into its own registry and the parent merges them back
+    (counters sum; every worker's span tree lands under one
+    ``worker[i]:<workload>`` span), so a parallel sweep reports the same
+    totals an inline run would.
+
+    Dispatch follows ``policy`` (default: the installed
+    :func:`current_retry_policy`): failing shards are retried with
+    backoff, hung or crashed workers are replaced, and — under a
+    best-effort policy — shards that exhaust their retries come back as
+    ``None`` holes with the details in :func:`last_fanout_report`.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    store = current_store()
+    results: list[ExperimentResult | None] = [_warm_experiment(spec) for spec in specs]
+    cold = [index for index, result in enumerate(results) if result is None]
+    if not cold:
+        return results
+    jobs = default_jobs() if jobs is None else jobs
+    jobs = max(1, min(jobs, len(cold)))
+    store_root = str(store.root) if store is not None else None
+    with_telemetry = obs.current() is not None
+    items = [(specs[index], store_root, with_telemetry) for index in cold]
+    labels = [specs[index].workload for index in cold]
+    sub_results, report = _resilient_map(
+        items,
+        labels,
+        _experiment_entry,
+        lambda args: run_spec(args[0]),
+        jobs,
+        policy,
+    )
+    if report.failures and store is not None:
+        _attach_checkpoints(
+            report,
+            lambda failure: _experiment_checkpoints(
+                store, specs[cold[failure.index]]
+            ),
+        )
+    for position, result in zip(cold, sub_results):
+        results[position] = result
+    return results
+
+
+# -- placement fan-out --------------------------------------------------------
 
 
 def _warm_placement(spec: PlacementSpec):
@@ -251,9 +705,7 @@ def _warm_placement(spec: PlacementSpec):
 
     workload = make_workload(spec.workload)
     train = spec.train_input or workload.train_input
-    place_heap = (
-        workload.place_heap if spec.place_heap is None else spec.place_heap
-    )
+    place_heap = workload.place_heap if spec.place_heap is None else spec.place_heap
     pair = store_stages.try_load_placement_pair(
         store,
         workload.name,
@@ -268,7 +720,27 @@ def _warm_placement(spec: PlacementSpec):
     return placement
 
 
-def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
+def _placement_checkpoints(store: ArtifactStore, spec: PlacementSpec) -> dict:
+    """Store-checkpoint coverage for one failed placement shard."""
+    from ..workloads import make_workload
+
+    workload = make_workload(spec.workload)
+    train = spec.train_input or workload.train_input
+    return store_stages.checkpoint_coverage(
+        store,
+        workload,
+        train,
+        config=spec.cache_config,
+        place_heap=spec.place_heap,
+        engine=spec.placement_engine,
+    )
+
+
+def run_placements(
+    specs: list[PlacementSpec],
+    jobs: int | None = None,
+    policy: RetryPolicy | None = None,
+):
     """Run per-program placement jobs, fanning out when ``jobs > 1``.
 
     Placements are embarrassingly parallel across programs — each job
@@ -277,7 +749,8 @@ def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
     installed, shards whose profile + placement entries hit are served
     inline and only the cold remainder reaches the pool (workers share
     the parent's store root).  Worker telemetry merges into the parent
-    registry exactly like :func:`run_experiments`.
+    registry exactly like :func:`run_experiments`, and dispatch runs
+    under the same retry policy.
     """
     specs = list(specs)
     if not specs:
@@ -289,25 +762,25 @@ def run_placements(specs: list[PlacementSpec], jobs: int | None = None):
         return results
     jobs = default_jobs() if jobs is None else jobs
     jobs = max(1, min(jobs, len(cold)))
-    if jobs == 1:
-        for index in cold:
-            results[index] = run_placement_spec(specs[index])
-        return results
     store_root = str(store.root) if store is not None else None
-    args = [(specs[index], store_root) for index in cold]
-    parent = obs.current()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        if parent is None:
-            for index, placement in zip(
-                cold, pool.map(_run_placement_spec_in_store, args)
-            ):
-                results[index] = placement
-            return results
-        for index, (placement, payload) in zip(
-            cold, pool.map(_run_placement_spec_with_telemetry, args)
-        ):
-            parent.merge_child(
-                payload, label=f"worker[{index}]:{specs[index].workload}"
-            )
-            results[index] = placement
-        return results
+    with_telemetry = obs.current() is not None
+    items = [(specs[index], store_root, with_telemetry) for index in cold]
+    labels = [specs[index].workload for index in cold]
+    sub_results, report = _resilient_map(
+        items,
+        labels,
+        _placement_entry,
+        lambda args: run_placement_spec(args[0]),
+        jobs,
+        policy,
+    )
+    if report.failures and store is not None:
+        _attach_checkpoints(
+            report,
+            lambda failure: _placement_checkpoints(
+                store, specs[cold[failure.index]]
+            ),
+        )
+    for position, result in zip(cold, sub_results):
+        results[position] = result
+    return results

@@ -347,6 +347,89 @@ def try_load_measure(
     )
 
 
+def checkpoint_coverage(
+    store: ArtifactStore,
+    workload,
+    train_input: str,
+    test_input: str | None = None,
+    config: CacheConfig | None = None,
+    place_heap: bool | None = None,
+    engine: str = "array",
+    profiler_kwargs: dict | None = None,
+    classify: bool = False,
+    track_pages: bool = False,
+) -> dict[str, bool]:
+    """Which of a shard's pipeline stages are already checkpointed.
+
+    Returns ``{stage: present}`` for the stages a rerun of the shard
+    would consult, in pipeline order.  This powers the partial-results
+    report: a failed shard with its profile and placement checkpointed
+    resumes at simulation, not at re-profiling.  The CCDP measurement is
+    keyed by the placement's content digest, so it is only probed when
+    the placement entry itself is present.
+    """
+    name = getattr(workload, "name", workload)
+    resolved_heap = place_heap
+    if resolved_heap is None:
+        resolved_heap = getattr(workload, "place_heap", False)
+    params = profile_params(profiler_kwargs)
+    coverage: dict[str, bool] = {}
+
+    def present(kind: str, fields: dict) -> bool:
+        return store.get(kind, store.key(kind, fields)) is not None
+
+    train_print = known_fingerprint(store, name, train_input)
+    coverage["train-trace"] = train_print is not None
+    if test_input is not None and test_input != train_input:
+        coverage["test-trace"] = (
+            known_fingerprint(store, name, test_input) is not None
+        )
+    if train_print is None:
+        coverage["profile"] = False
+        coverage["placement"] = False
+        if test_input is not None:
+            coverage["measure.original"] = False
+        return coverage
+    coverage["profile"] = present(
+        KIND_PROFILE, _profile_fields(train_print, config, params)
+    )
+    placement = _load(
+        store,
+        KIND_PLACEMENT,
+        _placement_fields(train_print, config, resolved_heap, engine, params),
+        placement_from_dict,
+    )
+    coverage["placement"] = placement is not None
+    if test_input is None:
+        return coverage
+    test_print = known_fingerprint(store, name, test_input)
+    if test_print is None:
+        coverage["measure.original"] = False
+        return coverage
+    coverage["measure.original"] = present(
+        KIND_MEASURE,
+        _measure_fields(
+            test_print, config, {"kind": "natural"}, classify, track_pages
+        ),
+    )
+    if placement is not None:
+        coverage["measure.ccdp"] = present(
+            KIND_MEASURE,
+            _measure_fields(
+                test_print,
+                config,
+                {
+                    "kind": "ccdp",
+                    "placement": placement_digest(placement),
+                    "compact_heap": False,
+                },
+                classify,
+                track_pages,
+            ),
+        )
+    return coverage
+
+
 def try_load_experiment(
     store: ArtifactStore,
     workload,
