@@ -20,7 +20,11 @@ Commands mirror the paper's workflow:
   scalar baseline and write ``BENCH_pipeline.json``; ``--placement``
   times the placement pass (array vs scalar conflict-scan engine) and
   writes ``BENCH_placement.json``; ``--store`` times a cold vs warm
-  artifact-store run and writes ``BENCH_cache.json``.
+  artifact-store run and writes ``BENCH_cache.json``; ``--trace-scale``
+  streams 10-100x amplified traces through each storage backend
+  (``--scales``, ``--backends``) and writes ``BENCH_scale.json`` with
+  events/sec, peak RSS, and cross-backend parity digests (see
+  ``docs/SCALING.md``).
 * ``report``   — run one workload's full pipeline under telemetry and
   emit a structured run report: span tree, counters, per-category miss
   attribution with conservation checks (``-o`` writes the JSON).
@@ -309,14 +313,51 @@ def cmd_bench(args) -> int:
         CACHE_OUTPUT,
         DEFAULT_OUTPUT,
         PLACEMENT_OUTPUT,
+        SCALE_OUTPUT,
         render_bench,
         render_cache_bench,
         render_placement_bench,
+        render_scale_bench,
         run_bench,
         run_cache_bench,
         run_placement_bench,
+        run_scale_bench,
     )
 
+    if args.trace_scale:
+        scales = None
+        if args.scales:
+            try:
+                scales = tuple(
+                    int(part) for part in args.scales.split(",") if part.strip()
+                )
+            except ValueError:
+                print(f"bad --scales value: {args.scales!r}", file=sys.stderr)
+                return 2
+        backends = None
+        if args.backends:
+            backends = tuple(
+                part.strip() for part in args.backends.split(",") if part.strip()
+            )
+            unknown = sorted(set(backends) - {"heap", "shm", "mmap"})
+            if unknown:
+                print(f"unknown backends: {', '.join(unknown)}", file=sys.stderr)
+                return 2
+        result = run_scale_bench(
+            quick=args.quick,
+            scales=scales,
+            backends=backends,
+            output=args.output or SCALE_OUTPUT,
+            progress=print,
+        )
+        print(render_scale_bench(result))
+        ok = (
+            result["parity_ok"]
+            and result["throughput_ok"]
+            and result["rss_bound_ok"] is not False
+            and not result["leaks"]
+        )
+        return 0 if ok else 1
     if args.store:
         result = run_cache_bench(
             quick=args.quick,
@@ -375,7 +416,15 @@ def cmd_cache(args) -> int:
             f"({summary.bytes} bytes, {summary.stale} stale)"
         )
         for kind in sorted(summary.by_kind):
-            print(f"  {kind:<12} {summary.by_kind[kind]}")
+            print(
+                f"  {kind:<12} {summary.by_kind[kind]:>6}  "
+                f"{summary.bytes_by_kind.get(kind, 0):>12} bytes"
+            )
+        if summary.trace_files:
+            print(
+                f"  {'trace-data':<12} {summary.trace_files:>6}  "
+                f"{summary.trace_bytes:>12} bytes (memmapped trace columns)"
+            )
     elif args.action == "gc":
         removed, bytes_removed = store.gc(
             max_bytes=args.max_bytes, max_age_days=args.max_age_days
@@ -534,6 +583,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", action="store_true",
         help="benchmark the artifact store (cold vs warm pipeline run) "
              "and write BENCH_cache.json",
+    )
+    p_bench.add_argument(
+        "--trace-scale", action="store_true",
+        help="benchmark the trace plane at 10-100x trace scale "
+             "(events/sec + peak RSS per storage backend) "
+             "and write BENCH_scale.json",
+    )
+    p_bench.add_argument(
+        "--scales", default=None,
+        help="comma-separated amplification factors for --trace-scale "
+             "(default 1,10; e.g. 1,10,100)",
+    )
+    p_bench.add_argument(
+        "--backends", default=None,
+        help="comma-separated storage backends for --trace-scale "
+             "(heap, shm, mmap; default: all at 1x, mmap at larger scales)",
     )
     p_bench.add_argument(
         "-o", "--output", default=None,

@@ -52,6 +52,7 @@ from ..runtime.parallel import ExperimentSpec, run_experiments
 from ..runtime.resolvers import NaturalResolver, RandomResolver
 from ..store import current_store
 from ..store import stages as store_stages
+from ..store import traces as store_traces
 from ..trace.buffer import TraceRecorder, record_trace
 from ..trace.stats import WorkloadStats
 from ..workloads import make_workload, workload_names
@@ -124,17 +125,26 @@ def _config_key(config: CacheConfig) -> tuple[int, int, int]:
 
 
 def cached_trace(name: str, input_name: str) -> TraceRecorder:
-    """Record (or reuse) the trace of one (workload, input) run."""
+    """Record (or reuse) the trace of one (workload, input) run.
+
+    With an artifact store installed, a persisted memmap trace artifact
+    is *attached* instead of re-running the workload (zero-copy — the
+    columns stay on disk); a freshly recorded trace is persisted so
+    every later process attaches too.
+    """
     global _trace_cache_bytes
     key = (name, input_name)
     trace = _trace_cache.get(key)
     if trace is not None:
         _trace_cache.move_to_end(key)
         return trace
-    trace = record_trace(make_workload(name), input_name)
     store = current_store()
     if store is not None:
-        store_stages.remember_trace(store, name, input_name, trace)
+        trace = store_traces.load_trace(store, name, input_name)
+    if trace is None:
+        trace = record_trace(make_workload(name), input_name)
+        if store is not None:
+            store_traces.remember_and_save(store, name, input_name, trace)
     _trace_cache[key] = trace
     _trace_cache_bytes += trace.nbytes
     while _trace_cache_bytes > TRACE_CACHE_BYTES and len(_trace_cache) > 1:

@@ -22,10 +22,23 @@ from .invariants import (
     workload_stats_failures,
 )
 from .report import RunReport, run_report
-from .telemetry import Span, Telemetry, count, current, gauge, span, use
+from .telemetry import (
+    PEAK_RSS_GAUGE,
+    Span,
+    Telemetry,
+    count,
+    current,
+    gauge,
+    gauge_max,
+    peak_rss_bytes,
+    sample_peak_rss,
+    span,
+    use,
+)
 
 __all__ = [
     "InvariantError",
+    "PEAK_RSS_GAUGE",
     "RunReport",
     "Span",
     "Telemetry",
@@ -36,9 +49,12 @@ __all__ = [
     "current",
     "enabled",
     "gauge",
+    "gauge_max",
     "maybe_check_cache_stats",
     "maybe_check_workload_stats",
+    "peak_rss_bytes",
     "run_report",
+    "sample_peak_rss",
     "set_enabled",
     "span",
     "use",

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 from ..trace.events import Category
 from . import invariants
-from .telemetry import Telemetry
+from .telemetry import PEAK_RSS_GAUGE, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.config import CacheConfig
@@ -181,6 +181,12 @@ class RunReport:
             "  miss attribution: per-category sums == totals "
             + ("(OK)" if conserved else "(NOT CHECKED)")
         )
+        peak = self.telemetry.get("gauges", {}).get(PEAK_RSS_GAUGE)
+        if peak:
+            lines.append(
+                f"  peak RSS: {peak / (1 << 20):,.1f} MiB "
+                "(max across run and merged workers)"
+            )
         if self.telemetry:
             registry = Telemetry()
             registry.counters = dict(self.telemetry.get("counters", {}))

@@ -25,10 +25,41 @@ when it is on.
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+#: Gauge name for the process high-water-mark resident set, in bytes.
+PEAK_RSS_GAUGE = "mem.peak_rss"
+
+
+def peak_rss_bytes() -> int:
+    """High-water-mark resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; zero where
+    the platform offers neither.  The value is monotonic for a process
+    lifetime — per-phase peaks need per-phase processes (the trace-scale
+    bench runs each arm in a fresh worker for exactly this reason).
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def sample_peak_rss() -> int:
+    """Gauge the current peak RSS on the active registry; returns it."""
+    peak = peak_rss_bytes()
+    if peak:
+        gauge_max(PEAK_RSS_GAUGE, peak)
+    return peak
 
 
 @dataclass
@@ -109,6 +140,12 @@ class Telemetry:
         finally:
             record.seconds += time.perf_counter() - began
             self._stack.pop()
+            # Spans bracket the pipeline's memory-heavy phases, so their
+            # exits are natural sampling points for the RSS high-water
+            # mark (one getrusage call; spans never sit in event loops).
+            peak = peak_rss_bytes()
+            if peak:
+                self.gauge_max(PEAK_RSS_GAUGE, peak)
 
     def attach_span(self, span: Span) -> None:
         """Attach an already-built span tree under the innermost open span."""
@@ -135,6 +172,15 @@ class Telemetry:
         """Record ``value`` as the gauge ``name`` (last write wins)."""
         self.gauges[name] = value
 
+    def gauge_max(self, name: str, value: float) -> None:
+        """Record ``value`` only if it exceeds the gauge's current value.
+
+        High-water marks (peak RSS) use this so repeated samples and
+        child merges compose as a maximum rather than a last write.
+        """
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
+
     # -- merging and export ----------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -158,7 +204,12 @@ class Telemetry:
         for name, amount in payload.get("counters", {}).items():
             self.count(name, amount)
         for name, value in payload.get("gauges", {}).items():
-            self.gauge(name, value)
+            # High-water marks compose as a maximum across workers; the
+            # parent keeps the largest child peak rather than the last.
+            if name == PEAK_RSS_GAUGE or name.endswith(".peak_rss"):
+                self.gauge_max(name, value)
+            else:
+                self.gauge(name, value)
         roots = [Span.from_dict(raw) for raw in payload.get("spans", [])]
         wrapper = Span(
             name=label or "child",
@@ -252,3 +303,9 @@ def gauge(name: str, value: float) -> None:
     """Record a gauge on the current registry; no-op when off."""
     if _current is not None:
         _current.gauge(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Max-merge a gauge on the current registry; no-op when off."""
+    if _current is not None:
+        _current.gauge_max(name, value)

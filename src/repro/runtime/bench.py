@@ -29,6 +29,11 @@ from ..cache.simulator import CacheSimulator
 from ..trace.buffer import DEFAULT_CHUNK_EVENTS, record_trace
 from ..workloads import make_workload
 from .resolvers import NaturalResolver
+from .scale import (  # noqa: F401  (re-exported: bench façade)
+    SCALE_OUTPUT,
+    render_scale_bench,
+    run_scale_bench,
+)
 
 #: Programs benchmarked by ``--quick`` (CI smoke) vs the full run.
 QUICK_PROGRAMS = ("deltablue", "espresso")

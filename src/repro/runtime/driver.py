@@ -156,10 +156,14 @@ def measure_trace(
 ) -> MeasureResult:
     """Simulate a recorded trace under a placement, batched.
 
-    Lifetime ops are replayed through the resolver once to resolve the
-    whole address column in one gather; the resolved columns then stream
-    chunk-wise through the batched cache engine (and page tracker).
-    Results equal the scalar :func:`measure` of the same run.
+    Lifetime ops are replayed through the resolver once; addresses are
+    then gathered chunk-by-chunk (:meth:`TraceRecorder.iter_resolved`)
+    and streamed through the batched cache engine (and page tracker) —
+    no whole-trace address column is ever materialized, and consumed
+    chunks of a memmapped trace are dropped from the resident set
+    (:meth:`TraceRecorder.advise_done`), so simulation RSS stays at
+    one-chunk working set regardless of trace length.  Results equal
+    the scalar :func:`measure` of the same run.
 
     With an artifact store installed, the finished statistics are served
     from (and persisted to) the store, keyed by the trace fingerprint
@@ -171,15 +175,20 @@ def measure_trace(
         with obs.span("simulate", events=trace.events):
             engine = BatchCacheSimulator(cache_config, classify=classify, parity=parity)
             pages = PageTracker() if track_pages else None
-            addr = trace.resolve(resolver)
             obj, _offset, size, cat, store = trace.columns()
-            for start in range(0, len(addr), DEFAULT_CHUNK_EVENTS):
-                chunk = slice(start, start + DEFAULT_CHUNK_EVENTS)
+            for start, end, addr_chunk in trace.iter_resolved(
+                resolver, DEFAULT_CHUNK_EVENTS
+            ):
                 engine.consume(
-                    addr[chunk], size[chunk], obj[chunk], cat[chunk], store[chunk]
+                    addr_chunk,
+                    size[start:end],
+                    obj[start:end],
+                    cat[start:end],
+                    store[start:end],
                 )
                 if pages is not None:
-                    pages.touch_batch(addr[chunk], size[chunk])
+                    pages.touch_batch(addr_chunk, size[start:end])
+                trace.advise_done(start, end)
             if parity:
                 engine.assert_parity()
             paging = PagingSummary.from_tracker(pages) if pages else None
@@ -363,18 +372,34 @@ def run_experiment(
 
             def provider(wl: Workload, input_name: str) -> TraceRecorder:
                 if input_name not in local:
-                    local[input_name] = record_trace(wl, input_name)
+                    trace = None
+                    if artifact_store is not None:
+                        # Attach the store's memmap artifact when one
+                        # exists: zero-copy, no workload run.
+                        from ..store import traces as store_traces
+
+                        trace = store_traces.load_trace(
+                            artifact_store, wl.name, input_name
+                        )
+                    if trace is None:
+                        trace = record_trace(wl, input_name)
+                    local[input_name] = trace
                 return local[input_name]
 
         if artifact_store is not None:
-            # Refresh the (workload, input) -> fingerprint meta entry
-            # whenever a trace is actually recorded, so the next run can
-            # take the full-warm path above.
+            # Persist every trace the provider serves — the fingerprint
+            # meta entry plus the memmap column artifact — so the next
+            # run (this process or any other) attaches instead of
+            # re-recording.  Idempotent when the artifact already exists.
+            from ..store import traces as store_traces
+
             inner_provider = provider
 
             def provider(wl: Workload, input_name: str) -> TraceRecorder:
                 trace = inner_provider(wl, input_name)
-                store_stages.remember_trace(artifact_store, wl.name, input_name, trace)
+                store_traces.remember_and_save(
+                    artifact_store, wl.name, input_name, trace
+                )
                 return trace
 
         train_trace = provider(workload, train)

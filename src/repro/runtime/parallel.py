@@ -34,6 +34,7 @@ only the failed shards.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
@@ -81,6 +82,55 @@ class PlacementSpec:
 def default_jobs() -> int:
     """Worker count when none is given: one per available CPU."""
     return os.cpu_count() or 1
+
+
+# -- task payload hygiene ------------------------------------------------------
+
+#: Default ceiling on one pickled task payload.  Specs carry registry
+#: names and a CacheConfig — a few hundred bytes; trace columns cross
+#: the boundary as :class:`~repro.trace.plane.TraceHandle` references or
+#: store fingerprints, never as data.  Anything near this limit means
+#: bulk data leaked into a task tuple.
+MAX_TASK_PAYLOAD_BYTES = 4 << 20
+
+#: Environment override for the payload ceiling (bytes; 0 disables).
+MAX_TASK_PAYLOAD_ENV = "REPRO_MAX_TASK_PAYLOAD"
+
+
+class TaskPayloadError(ValueError):
+    """A pickled task payload exceeded the fan-out's byte ceiling."""
+
+
+def max_task_payload_bytes() -> int:
+    """The active payload ceiling (env override, 0 disables the check)."""
+    raw = os.environ.get(MAX_TASK_PAYLOAD_ENV)
+    if raw is None:
+        return MAX_TASK_PAYLOAD_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        return MAX_TASK_PAYLOAD_BYTES
+
+
+def _check_payloads(items: list, labels: list[str]) -> None:
+    """Measure every task payload, log it via obs, and enforce the cap.
+
+    Runs in the parent before any worker spawns, so an oversized payload
+    (someone pickling trace columns instead of a handle) fails fast with
+    the offending task named, not as a mysteriously slow sweep.
+    """
+    limit = max_task_payload_bytes()
+    for index, args in enumerate(items):
+        size = len(pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL))
+        obs.count("fanout.payload_bytes", size)
+        obs.gauge_max("fanout.payload.max_bytes", size)
+        if limit and size > limit:
+            raise TaskPayloadError(
+                f"task payload for {labels[index]!r} pickles to {size:,} bytes "
+                f"(limit {limit:,}); ship trace columns as a TraceHandle or "
+                "store fingerprint, not as data "
+                f"(override with {MAX_TASK_PAYLOAD_ENV})"
+            )
 
 
 # -- retry policy and fan-out reports -----------------------------------------
@@ -166,6 +216,7 @@ def _experiment_entry(args: tuple) -> tuple[ExperimentResult, dict | None]:
     registry = obs.Telemetry()
     with obs.use(registry), _install_worker_store(store_root):
         result = run_spec(spec)
+        obs.sample_peak_rss()
     return result, registry.to_dict()
 
 
@@ -175,10 +226,12 @@ def run_placement_spec(spec: PlacementSpec):
     Returns the :class:`~repro.core.placement_map.PlacementMap` only —
     the profile stays in the worker, keeping the pickled result small.
 
-    With an artifact store installed, the training run is recorded as a
-    trace first (the batched profiler derives an identical profile from
-    it) so both stage outputs land in the store keyed by the trace
-    fingerprint, making the next sweep's shard warm.
+    With an artifact store installed, the training trace is *attached*
+    from the store's memmap artifact when one exists — no workload run,
+    no copy — and otherwise recorded once and persisted, so every later
+    arm of the sweep (and every later sweep) attaches instead of
+    re-recording.  Both stage outputs land in the store keyed by the
+    trace fingerprint, making the next sweep's shard warm.
     """
     from ..workloads import make_workload
     from .driver import build_placement
@@ -187,11 +240,14 @@ def run_placement_spec(spec: PlacementSpec):
     trace = None
     store = current_store()
     if store is not None:
+        from ..store import traces as store_traces
         from ..trace.buffer import record_trace
 
         train = spec.train_input or workload.train_input
-        trace = record_trace(workload, train)
-        store_stages.remember_trace(store, workload.name, train, trace)
+        trace = store_traces.load_trace(store, workload.name, train)
+        if trace is None:
+            trace = record_trace(workload, train)
+            store_traces.remember_and_save(store, workload.name, train, trace)
     _profile, placement = build_placement(
         workload,
         spec.train_input,
@@ -212,6 +268,7 @@ def _placement_entry(args: tuple) -> tuple[object, dict | None]:
     registry = obs.Telemetry()
     with obs.use(registry), _install_worker_store(store_root):
         placement = run_placement_spec(spec)
+        obs.sample_peak_rss()
     return placement, registry.to_dict()
 
 
@@ -564,6 +621,7 @@ def _resilient_map(
         if jobs == 1:
             results = _inline_map(items, labels, inline, policy, plan, report)
         else:
+            _check_payloads(items, labels)
             results = _pooled_map(
                 items, labels, worker, jobs, policy, plan, finalize, report
             )

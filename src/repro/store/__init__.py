@@ -35,14 +35,28 @@ from .store import (
     set_store,
     use_store,
 )
+from .traces import (
+    KIND_TRACE,
+    load_trace,
+    load_trace_by_fingerprint,
+    remember_and_save,
+    save_trace,
+    trace_data_path,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "ArtifactStore",
+    "KIND_TRACE",
     "StoreCounters",
     "StoreEntryError",
     "StoreStats",
+    "load_trace",
+    "load_trace_by_fingerprint",
+    "remember_and_save",
+    "save_trace",
+    "trace_data_path",
     "canonical_json",
     "code_salt",
     "config_fields",

@@ -65,6 +65,9 @@ class StoreStats:
     bytes: int = 0
     stale: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    trace_files: int = 0
+    trace_bytes: int = 0
 
 
 class ArtifactStore:
@@ -79,6 +82,11 @@ class ArtifactStore:
     @property
     def objects_dir(self) -> Path:
         return self.root / "objects"
+
+    @property
+    def traces_dir(self) -> Path:
+        """Root of the binary trace-column artifacts (``*.trace`` files)."""
+        return self.root / "traces"
 
     def entry_path(self, kind: str, digest: str) -> Path:
         return self.objects_dir / kind / digest[:2] / f"{digest}.json"
@@ -208,8 +216,22 @@ class ArtifactStore:
                 continue
             yield path
 
+    def _trace_files(self):
+        if not self.traces_dir.is_dir():
+            return
+        for path in self.traces_dir.rglob("*.trace"):
+            if path.name.startswith("."):
+                continue
+            yield path
+
     def stats(self) -> StoreStats:
-        """Walk the tree and summarize entry counts, bytes, staleness."""
+        """Walk the tree and summarize entry counts, bytes, staleness.
+
+        Binary trace-column files (``traces/*.trace``) are tallied
+        separately from the JSON entries — they dominate the on-disk
+        bytes by orders of magnitude — and also appear in
+        ``bytes_by_kind`` under the pseudo-kind ``trace-data``.
+        """
         summary = StoreStats(root=str(self.root))
         salt = code_salt()
         for path in self._entries():
@@ -219,11 +241,25 @@ class ArtifactStore:
             try:
                 stat = path.stat()
                 summary.bytes += stat.st_size
+                summary.bytes_by_kind[kind] = (
+                    summary.bytes_by_kind.get(kind, 0) + stat.st_size
+                )
                 with open(path) as handle:
                     if json.load(handle).get("salt") != salt:
                         summary.stale += 1
             except (OSError, json.JSONDecodeError):
                 summary.stale += 1
+        for path in self._trace_files():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            summary.trace_files += 1
+            summary.trace_bytes += size
+            summary.bytes += size
+            summary.bytes_by_kind["trace-data"] = (
+                summary.bytes_by_kind.get("trace-data", 0) + size
+            )
         return summary
 
     def gc(
@@ -264,12 +300,47 @@ class ArtifactStore:
                 total -= size
                 removed += 1
                 removed_bytes += size
+        trace_removed, trace_bytes = self._gc_trace_files()
+        return removed + trace_removed, removed_bytes + trace_bytes
+
+    def _gc_trace_files(self) -> tuple[int, int]:
+        """Drop trace data files no surviving ``trace`` entry references.
+
+        Runs after the entry passes, so evicting a ``trace`` entry (stale
+        salt, age, or byte pressure) automatically reclaims its — much
+        larger — column file on the same gc.
+        """
+        referenced: set[str] = set()
+        trace_entries = self.objects_dir / "trace"
+        if trace_entries.is_dir():
+            for path in trace_entries.rglob("*.json"):
+                if path.name.startswith("."):
+                    continue
+                try:
+                    with open(path) as handle:
+                        payload = json.load(handle).get("payload")
+                    referenced.add(payload["fingerprint"])
+                except (OSError, json.JSONDecodeError, TypeError, KeyError):
+                    continue
+        removed = removed_bytes = 0
+        for path in self._trace_files():
+            if path.stem in referenced:
+                continue
+            try:
+                removed_bytes += path.stat().st_size
+            except OSError:
+                pass
+            self._discard(path)
+            removed += 1
         return removed, removed_bytes
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (trace data files included); returns the count."""
         removed = 0
         for path in self._entries():
+            self._discard(path)
+            removed += 1
+        for path in self._trace_files():
             self._discard(path)
             removed += 1
         return removed

@@ -20,18 +20,31 @@ Two producers are provided:
   object-lifetime events.  Because object ids are run-unique (never
   reused), a recorded trace can be re-simulated under any placement
   policy without re-running the workload: lifetime events are replayed
-  through a resolver once, and the whole address column is then computed
-  in one vectorized gather (:meth:`TraceRecorder.resolve`).
+  through a resolver once, and addresses are then computed in vectorized
+  chunk-wise gathers (:meth:`TraceRecorder.iter_resolved` /
+  :meth:`TraceRecorder.resolve`).
+
+Both producers take a pluggable storage backend
+(:mod:`repro.trace.plane`): ``heap`` keeps the seed's in-process layout;
+``shm`` and ``mmap`` spill staged chunks to disk while recording and
+seal the finished columns into an attachable shared-memory segment or
+file-backed memory map, so a trace never has to fit in RAM and workers
+can consume it zero-copy via a :class:`~repro.trace.plane.TraceHandle`.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from array import array
 from typing import Iterator
 
 import numpy as np
 
+from ..obs import telemetry as obs
+from . import plane
 from .events import Category, ObjectInfo, STACK_OBJECT_ID
+from .plane import TraceHandle
 from .sinks import TraceError, TraceSink
 from .stats import WorkloadStats
 
@@ -56,9 +69,19 @@ class TraceBuffer:
     single C call) and are exposed as numpy arrays when drained, so the
     per-event cost is five appends and the per-chunk cost is zero-copy
     ``frombuffer`` views.
+
+    With ``spill_chunk_events`` set, full staging chunks are written to
+    a spill file (:class:`~repro.trace.plane.SpillWriter`) as they fill,
+    so the buffer's RAM stays bounded at one chunk no matter how many
+    events are appended before the next :meth:`drain`; the drain then
+    streams the spilled chunks back before the in-memory remainder.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        spill_chunk_events: int | None = None,
+        spill_dir: str | os.PathLike | None = None,
+    ) -> None:
         self._addr = array("q")
         self._size = array("i")
         self._obj = array("i")
@@ -70,6 +93,10 @@ class TraceBuffer:
         self.append_obj = self._obj.append
         self.append_cat = self._cat.append
         self.append_store = self._store.append
+        self._spill_chunk_events = spill_chunk_events
+        self._spill_dir = spill_dir
+        self._spill: plane.SpillWriter | None = None
+        self._spilled = 0
 
     def append(
         self, addr: int, size: int, obj_id: int, category: int, is_store: bool
@@ -80,23 +107,20 @@ class TraceBuffer:
         self._obj.append(obj_id)
         self._cat.append(category)
         self._store.append(is_store)
+        if (
+            self._spill_chunk_events is not None
+            and len(self._addr) >= self._spill_chunk_events
+        ):
+            self.spill()
 
     def __len__(self) -> int:
-        return len(self._addr)
+        return self._spilled + len(self._addr)
 
-    def columns(
+    def _staging_columns(
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Zero-copy numpy views of the five columns (addr, size, obj, cat, store)."""
         if not self._addr:
-            empty = np.empty(0, dtype=np.int64)
-            return (
-                empty,
-                np.empty(0, np.int32),
-                np.empty(0, np.int32),
-                np.empty(0, np.int8),
-                np.empty(0, np.int8),
-            )
+            return tuple(np.empty(0, d) for d in plane.BUFFER_COLUMN_DTYPES)
         return (
             np.frombuffer(self._addr, dtype=np.int64),
             np.frombuffer(self._size, dtype=np.int32),
@@ -105,23 +129,73 @@ class TraceBuffer:
             np.frombuffer(self._store, dtype=np.int8),
         )
 
-    def clear(self) -> None:
-        """Drop all buffered events."""
+    def columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy numpy views of the five columns (addr, size, obj, cat, store).
+
+        Only the in-memory staging is viewable; once events have spilled
+        to disk the full stream exists only chunk-wise, via :meth:`drain`.
+        """
+        if self._spilled:
+            raise TraceError(
+                "columns() is unavailable after a spill; "
+                "drain() streams the full event sequence"
+            )
+        return self._staging_columns()
+
+    def spill(self) -> None:
+        """Flush the staged events to the spill file (no-op when empty)."""
+        if not self._addr:
+            return
+        if self._spill is None:
+            root = (
+                os.fspath(self._spill_dir)
+                if self._spill_dir
+                else tempfile.gettempdir()
+            )
+            path = os.path.join(root, plane.storage_name("buffer") + ".spill")
+            self._spill = plane.SpillWriter(path, dtypes=plane.BUFFER_COLUMN_DTYPES)
+        staged = self._staging_columns()
+        self._spilled += self._spill.write_chunk(staged)
+        del staged
+        self._clear_staging()
+
+    def _clear_staging(self) -> None:
         del self._addr[:]
         del self._size[:]
         del self._obj[:]
         del self._cat[:]
         del self._store[:]
 
+    def clear(self) -> None:
+        """Drop all buffered events, spilled ones included."""
+        self._clear_staging()
+        self._spilled = 0
+        if self._spill is not None:
+            self._spill.unlink()
+            self._spill = None
+
     def drain(
         self, chunk_events: int = DEFAULT_CHUNK_EVENTS
     ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
         """Yield column chunks of at most ``chunk_events`` events, then clear.
 
-        The yielded arrays are copies, so the buffer can be refilled while
-        a consumer holds earlier chunks.
+        Spilled chunks stream back from disk first (in append order),
+        then the in-memory staging is chunked.  The yielded arrays are
+        copies, so the buffer can be refilled while a consumer holds
+        earlier chunks.  A spill file that ends mid-chunk raises
+        :class:`~repro.trace.events.TraceError`.
         """
-        addr, size, obj, cat, store = self.columns()
+        if self._spill is not None and self._spilled:
+            self._spill.close()
+            for chunk in plane.iter_spill_chunks(
+                self._spill.path, dtypes=plane.BUFFER_COLUMN_DTYPES
+            ):
+                for start in range(0, len(chunk[0]), chunk_events):
+                    end = start + chunk_events
+                    yield tuple(column[start:end].copy() for column in chunk)
+        addr, size, obj, cat, store = self._staging_columns()
         total = len(addr)
         for start in range(0, total, chunk_events):
             end = min(start + chunk_events, total)
@@ -146,9 +220,30 @@ class TraceRecorder(TraceSink):
     rarer lifetime events (object declarations, allocs, frees, stack
     growth, compute batches) are kept as a positioned op list so exact
     interleaving can be reproduced.
+
+    ``storage`` selects where the sealed columns live: ``"heap"`` (the
+    default) keeps them in-process exactly as the seed did; ``"shm"``
+    and ``"mmap"`` spill staged chunks to disk every
+    ``spill_chunk_events`` during recording and, at ``on_end``, stream
+    the spill into an attachable container
+    (:mod:`repro.trace.plane`) — recording RAM stays bounded at one
+    staging chunk regardless of trace length.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        storage: str = "heap",
+        spill_chunk_events: int = plane.DEFAULT_SPILL_CHUNK_EVENTS,
+        spill_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if storage not in plane.BACKENDS:
+            raise ValueError(f"unknown trace storage backend: {storage!r}")
+        self.backend = storage
+        self._spill_chunk_events = spill_chunk_events
+        self._spill_dir = spill_dir
+        self._spill: plane.SpillWriter | None = None
+        self._spilled = 0
+        self._storage: plane.ColumnStorage | None = None
         self._obj = array("i")
         self._offset = array("q")
         self._size = array("i")
@@ -162,26 +257,199 @@ class TraceRecorder(TraceSink):
         self._columns: tuple[np.ndarray, ...] | None = None
         self._lifetime_ops: list[tuple[int, int, object]] | None = None
         # The access hook is the per-event hot path of trace recording;
-        # a closure over the column appends skips all self lookups.
+        # a closure over the column appends skips all self lookups.  The
+        # heap path stays exactly the seed's five-append closure; the
+        # spilling backends add one length check per event.
         obj_append = self._obj.append
         offset_append = self._offset.append
         size_append = self._size.append
         cat_append = self._cat.append
         store_append = self._store.append
 
-        def on_access(obj_id, offset, size, is_store, category) -> None:
-            obj_append(obj_id)
-            offset_append(offset)
-            size_append(size)
-            cat_append(category)
-            store_append(is_store)
+        if storage == "heap":
+
+            def on_access(obj_id, offset, size, is_store, category) -> None:
+                obj_append(obj_id)
+                offset_append(offset)
+                size_append(size)
+                cat_append(category)
+                store_append(is_store)
+
+        else:
+            staging = self._obj
+            spill = self._spill_staging
+            chunk = spill_chunk_events
+
+            def on_access(obj_id, offset, size, is_store, category) -> None:
+                obj_append(obj_id)
+                offset_append(offset)
+                size_append(size)
+                cat_append(category)
+                store_append(is_store)
+                if len(staging) >= chunk:
+                    spill()
 
         self.on_access = on_access
+
+    # -- alternate constructors ---------------------------------------------
+
+    @classmethod
+    def from_storage(
+        cls,
+        storage: plane.ColumnStorage,
+        ops: list[tuple[int, int, object]] | tuple = (),
+        compute_instructions: int = 0,
+        max_stack_depth: int = 0,
+        fingerprint: str | None = None,
+    ) -> "TraceRecorder":
+        """Wrap a sealed column container as a finished recording."""
+        recorder = cls.__new__(cls)
+        TraceSink.__init__(recorder)
+        recorder.backend = storage.backend
+        recorder._spill_chunk_events = plane.DEFAULT_SPILL_CHUNK_EVENTS
+        recorder._spill_dir = None
+        recorder._spill = None
+        recorder._spilled = storage.events
+        recorder._storage = storage
+        recorder._obj = array("i")
+        recorder._offset = array("q")
+        recorder._size = array("i")
+        recorder._cat = array("b")
+        recorder._store = array("b")
+        recorder.ops = list(ops)
+        recorder.compute_instructions = compute_instructions
+        recorder.max_stack_depth = max_stack_depth
+        recorder.ended = True
+        recorder._columns = None
+        recorder._lifetime_ops = None
+        if fingerprint is not None:
+            recorder._fingerprint = (storage.events, fingerprint)
+        return recorder
+
+    @classmethod
+    def attach(cls, handle: TraceHandle) -> "TraceRecorder":
+        """Attach the trace a :class:`~repro.trace.plane.TraceHandle` names.
+
+        Zero-copy: the returned recorder reads the creator's segment or
+        file directly; only the handle's ops crossed the process
+        boundary.  Attached recorders never unlink the backing storage.
+        """
+        storage = plane.open_storage(handle.backend, handle.ref, handle.events)
+        obs.count("trace.attach")
+        return cls.from_storage(
+            storage,
+            ops=handle.ops,
+            compute_instructions=handle.compute_instructions,
+            max_stack_depth=handle.max_stack_depth,
+            fingerprint=handle.fingerprint,
+        )
+
+    def handle(self) -> TraceHandle:
+        """The picklable attachment handle for this sealed recording."""
+        if self._storage is None or not self._storage.ref:
+            raise TraceError(
+                f"trace on {self.backend!r} storage is not attachable; "
+                "record with storage='shm' or 'mmap'"
+            )
+        cached = getattr(self, "_fingerprint", None)
+        fingerprint = (
+            cached[1] if cached is not None and cached[0] == self.events else None
+        )
+        return TraceHandle(
+            backend=self._storage.backend,
+            ref=self._storage.ref,
+            events=self.events,
+            ops=tuple(self.ops),
+            compute_instructions=self.compute_instructions,
+            max_stack_depth=self.max_stack_depth,
+            fingerprint=fingerprint,
+        )
+
+    # -- spill and seal ------------------------------------------------------
+
+    def _staging_columns(self) -> tuple[np.ndarray, ...]:
+        if not self._obj:
+            return tuple(np.empty(0, d) for d in plane.TRACE_COLUMN_DTYPES)
+        return (
+            np.frombuffer(self._obj, dtype=np.int32),
+            np.frombuffer(self._offset, dtype=np.int64),
+            np.frombuffer(self._size, dtype=np.int32),
+            np.frombuffer(self._cat, dtype=np.int8),
+            np.frombuffer(self._store, dtype=np.int8),
+        )
+
+    def _clear_staging(self) -> None:
+        del self._obj[:]
+        del self._offset[:]
+        del self._size[:]
+        del self._cat[:]
+        del self._store[:]
+
+    def _spill_staging(self) -> None:
+        if not self._obj:
+            return
+        if self._spill is None:
+            root = (
+                os.fspath(self._spill_dir)
+                if self._spill_dir
+                else tempfile.gettempdir()
+            )
+            path = os.path.join(root, plane.storage_name("record") + ".spill")
+            self._spill = plane.SpillWriter(path)
+        staged = self._staging_columns()
+        self._spilled += self._spill.write_chunk(staged)
+        del staged
+        self._clear_staging()
+        self._columns = None
+
+    def _seal(self) -> None:
+        """Stream spill + staging into the final attachable container."""
+        total = self.events
+        storage = plane.create_storage(
+            self.backend, total, directory=self._spill_dir
+        )
+        position = 0
+        if self._spill is not None:
+            self._spill.close()
+            for chunk in plane.iter_spill_chunks(self._spill.path):
+                position += storage.write_at(position, chunk)
+            self._spill.unlink()
+            self._spill = None
+        staged = self._staging_columns()
+        if len(staged[0]):
+            position += storage.write_at(position, staged)
+        del staged
+        self._clear_staging()
+        self._spilled = total
+        storage.seal()
+        self._storage = storage
+        self._columns = None
+
+    def close(self) -> None:
+        """Release the backing storage (owners unlink their segment/file)."""
+        if self._spill is not None:
+            self._spill.unlink()
+            self._spill = None
+        if self._storage is not None:
+            self._columns = None
+            self._storage.close()
+            self._storage = None
+
+    def advise_done(self, start: int, end: int) -> None:
+        """Hint that events ``[start, end)`` will not be read again.
+
+        On mmap storage this drops the already-streamed pages from the
+        resident set (``madvise(MADV_DONTNEED)``); elsewhere it is a
+        no-op.  Chunked consumers call it after each chunk so a trace
+        far larger than RAM streams at one-chunk RSS.
+        """
+        if self._storage is not None:
+            self._storage.advise_done(start, end)
 
     # -- sink hooks ---------------------------------------------------------
 
     def on_object(self, info: ObjectInfo) -> None:
-        self.ops.append((len(self._obj), _OP_OBJECT, info))
+        self.ops.append((self._spilled + len(self._obj), _OP_OBJECT, info))
 
     def on_access(self, obj_id, offset, size, is_store, category) -> None:
         self._obj.append(obj_id)
@@ -189,56 +457,69 @@ class TraceRecorder(TraceSink):
         self._size.append(size)
         self._cat.append(category)
         self._store.append(is_store)
+        if (
+            self.backend != "heap"
+            and len(self._obj) >= self._spill_chunk_events
+        ):
+            self._spill_staging()
 
     def on_alloc(self, info: ObjectInfo, return_addresses) -> None:
-        self.ops.append((len(self._obj), _OP_ALLOC, (info, tuple(return_addresses))))
+        self.ops.append(
+            (self._spilled + len(self._obj), _OP_ALLOC, (info, tuple(return_addresses)))
+        )
 
     def on_free(self, obj_id: int) -> None:
-        self.ops.append((len(self._obj), _OP_FREE, obj_id))
+        self.ops.append((self._spilled + len(self._obj), _OP_FREE, obj_id))
 
     def on_compute(self, instructions: int) -> None:
         self.compute_instructions += instructions
-        self.ops.append((len(self._obj), _OP_COMPUTE, instructions))
+        self.ops.append((self._spilled + len(self._obj), _OP_COMPUTE, instructions))
 
     def on_stack_depth(self, depth: int) -> None:
         if depth > self.max_stack_depth:
             self.max_stack_depth = depth
-            self.ops.append((len(self._obj), _OP_STACK_DEPTH, depth))
+            self.ops.append(
+                (self._spilled + len(self._obj), _OP_STACK_DEPTH, depth)
+            )
 
     def on_end(self) -> None:
         self.ended = True
+        if self.backend != "heap" and self._storage is None:
+            self._seal()
 
     # -- access columns -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._obj)
+        return self._spilled + len(self._obj)
 
     @property
     def events(self) -> int:
         """Number of recorded memory references."""
-        return len(self._obj)
+        return self._spilled + len(self._obj)
 
     def columns(
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Numpy views of (obj_id, offset, size, category, is_store)."""
+        """Numpy views of (obj_id, offset, size, category, is_store).
+
+        For sealed shm/mmap recordings these are zero-copy views of the
+        shared container; mid-recording they cover the staging only and
+        raise :class:`TraceError` once events have spilled to disk (the
+        full stream exists only in the sealed container, after
+        ``on_end``).
+        """
+        if self._storage is not None:
+            if self._columns is None:
+                self._columns = self._storage.columns()
+            return self._columns
+        if self._spilled:
+            raise TraceError(
+                "trace columns are unavailable mid-recording on "
+                f"{self.backend!r} storage once events have spilled; "
+                "they seal at on_end"
+            )
         if self._columns is None or len(self._columns[0]) != len(self._obj):
-            if not self._obj:
-                self._columns = (
-                    np.empty(0, np.int32),
-                    np.empty(0, np.int64),
-                    np.empty(0, np.int32),
-                    np.empty(0, np.int8),
-                    np.empty(0, np.int8),
-                )
-            else:
-                self._columns = (
-                    np.frombuffer(self._obj, dtype=np.int32),
-                    np.frombuffer(self._offset, dtype=np.int64),
-                    np.frombuffer(self._size, dtype=np.int32),
-                    np.frombuffer(self._cat, dtype=np.int8),
-                    np.frombuffer(self._store, dtype=np.int8),
-                )
+            self._columns = self._staging_columns()
         return self._columns
 
     @property
@@ -258,11 +539,14 @@ class TraceRecorder(TraceSink):
 
     @property
     def nbytes(self) -> int:
-        """Approximate memory footprint of the access columns."""
-        return sum(
+        """Approximate memory/storage footprint of the access columns."""
+        if self._storage is not None:
+            return self._storage.nbytes
+        staged = sum(
             col.itemsize * len(col)
             for col in (self._obj, self._offset, self._size, self._cat, self._store)
         )
+        return staged + self._spilled * plane.BYTES_PER_EVENT
 
     # -- consumers ----------------------------------------------------------
 
@@ -342,9 +626,83 @@ class TraceRecorder(TraceSink):
         if pending:
             yield (position, pending_position, pending)
             position = pending_position
-        total = len(self._obj)
+        total = self.events
         if position < total or total == 0:
             yield (position, total, [])
+
+    def _resolve_bases(self, resolver) -> tuple[np.ndarray, np.ndarray]:
+        """Replay lifetime ops through ``resolver``; returns (bases, declared).
+
+        The arrays are sized by the largest *declared* object id, so no
+        full column scan is needed — out-of-range ids in the access
+        stream are caught per chunk by :meth:`iter_resolved`.
+        """
+        max_obj = STACK_OBJECT_ID
+        for _position, kind, payload in self.lifetime_ops:
+            if kind == _OP_OBJECT:
+                max_obj = max(max_obj, payload.obj_id)
+            elif kind == _OP_ALLOC:
+                max_obj = max(max_obj, payload[0].obj_id)
+        bases = np.zeros(max_obj + 1, dtype=np.int64)
+        declared = np.zeros(max_obj + 1, dtype=bool)
+        declared[STACK_OBJECT_ID] = True
+        base_of = resolver.base_of
+        bases[STACK_OBJECT_ID] = base_of[STACK_OBJECT_ID]
+        for _position, kind, payload in self.lifetime_ops:
+            if kind == _OP_OBJECT:
+                resolver.on_object(payload)
+                bases[payload.obj_id] = base_of[payload.obj_id]
+                declared[payload.obj_id] = True
+            elif kind == _OP_ALLOC:
+                info, return_addresses = payload
+                resolver.on_alloc(info, return_addresses)
+                bases[info.obj_id] = base_of[info.obj_id]
+                declared[info.obj_id] = True
+            elif kind == _OP_FREE:
+                resolver.on_free(payload)
+        return bases, declared
+
+    def iter_resolved(
+        self, resolver, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, end, addresses)`` chunks of the resolved stream.
+
+        Lifetime ops are replayed through ``resolver`` once, then each
+        chunk's addresses are gathered as ``bases[obj] + offset`` — no
+        whole-trace temporary is ever materialized, so a memmapped trace
+        far larger than RAM streams at one-chunk working set (pair with
+        :meth:`advise_done` to also drop the consumed column pages).
+
+        Raises :class:`~repro.trace.sinks.TraceError` when the recording
+        is truncated (no ``on_end`` marker) or a chunk references an
+        object id no lifetime op ever declared.
+        """
+        if not self.ended:
+            raise TraceError(
+                "truncated trace: recording ended without its on_end marker"
+            )
+        obj, offset, _size, _cat, _store = self.columns()
+        bases, declared = self._resolve_bases(resolver)
+        max_obj = len(declared) - 1
+        total = len(obj)
+        for start in range(0, total, chunk_events):
+            end = min(start + chunk_events, total)
+            obj_chunk = np.asarray(obj[start:end])
+            out_of_range = obj_chunk > max_obj
+            if out_of_range.any():
+                bad = int(obj_chunk[np.argmax(out_of_range)])
+                raise TraceError(
+                    f"corrupt trace: access to unknown object id {bad} "
+                    "(never declared or allocated)"
+                )
+            known = declared[obj_chunk]
+            if not known.all():
+                bad = int(obj_chunk[np.argmin(known)])
+                raise TraceError(
+                    f"corrupt trace: access to unknown object id {bad} "
+                    "(never declared or allocated)"
+                )
+            yield start, end, bases[obj_chunk] + np.asarray(offset[start:end])
 
     def resolve(self, resolver) -> np.ndarray:
         """Replay lifetime ops through ``resolver`` and resolve all addresses.
@@ -355,45 +713,14 @@ class TraceRecorder(TraceSink):
         its free, so the interleaving of accesses with lifetime events
         cannot change the result.
 
-        Raises :class:`~repro.trace.sinks.TraceError` when the recording
-        is truncated (no ``on_end`` marker) or references an object id no
-        lifetime op ever declared — resolving such a stream would hand
-        the simulator garbage base addresses.
+        This materializes the whole address column; chunked consumers
+        (:func:`repro.runtime.driver.measure_trace`) should iterate
+        :meth:`iter_resolved` instead.
         """
-        if not self.ended:
-            raise TraceError(
-                "truncated trace: recording ended without its on_end marker"
-            )
-        obj, offset, _size, _cat, _store = self.columns()
-        max_obj = int(obj.max()) if len(obj) else STACK_OBJECT_ID
-        bases = np.zeros(max_obj + 1, dtype=np.int64)
-        declared = np.zeros(max_obj + 1, dtype=bool)
-        declared[STACK_OBJECT_ID] = True
-        base_of = resolver.base_of
-        bases[STACK_OBJECT_ID] = base_of[STACK_OBJECT_ID]
-        for _position, kind, payload in self.lifetime_ops:
-            if kind == _OP_OBJECT:
-                resolver.on_object(payload)
-                obj_id = payload.obj_id
-                if obj_id <= max_obj:
-                    bases[obj_id] = base_of[obj_id]
-                    declared[obj_id] = True
-            elif kind == _OP_ALLOC:
-                info, return_addresses = payload
-                resolver.on_alloc(info, return_addresses)
-                if info.obj_id <= max_obj:
-                    bases[info.obj_id] = base_of[info.obj_id]
-                    declared[info.obj_id] = True
-            elif kind == _OP_FREE:
-                resolver.on_free(payload)
-        known = declared[obj]
-        if not known.all():
-            bad = int(obj[np.argmin(known)])
-            raise TraceError(
-                f"corrupt trace: access to unknown object id {bad} "
-                "(never declared or allocated)"
-            )
-        return bases[obj] + offset
+        addresses = np.empty(self.events, dtype=np.int64)
+        for start, end, chunk in self.iter_resolved(resolver):
+            addresses[start:end] = chunk
+        return addresses
 
     def stats(self) -> WorkloadStats:
         """Compute Table 1 workload statistics from the columns, vectorized.
@@ -439,8 +766,18 @@ class TraceRecorder(TraceSink):
         return stats
 
 
-def record_trace(workload, input_name: str | None = None) -> TraceRecorder:
+def record_trace(
+    workload,
+    input_name: str | None = None,
+    storage: str = "heap",
+    spill_chunk_events: int = plane.DEFAULT_SPILL_CHUNK_EVENTS,
+    spill_dir: str | os.PathLike | None = None,
+) -> TraceRecorder:
     """Run ``workload`` once and return its recorded trace."""
-    recorder = TraceRecorder()
+    recorder = TraceRecorder(
+        storage=storage,
+        spill_chunk_events=spill_chunk_events,
+        spill_dir=spill_dir,
+    )
     workload.run(recorder, input_name or workload.train_input)
     return recorder

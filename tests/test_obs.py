@@ -9,7 +9,16 @@ import pytest
 from repro.cache.simulator import CacheStats
 from repro.obs import invariants
 from repro.obs.report import RunReport, run_report
-from repro.obs.telemetry import Span, Telemetry, count, current, gauge, span, use
+from repro.obs.telemetry import (
+    PEAK_RSS_GAUGE,
+    Span,
+    Telemetry,
+    count,
+    current,
+    gauge,
+    span,
+    use,
+)
 from repro.core.placement_map import PlacementStats
 from repro.profiling.serialize import placement_from_dict, placement_to_dict
 from repro.runtime.driver import build_placement, run_experiment
@@ -61,6 +70,8 @@ class TestTelemetry:
                 gauge("depth", 4.0)
         assert current() is None
         assert registry.counters == {"hits": 2}
+        # Span exits sample the peak-RSS high-water mark as a gauge.
+        assert registry.gauges.pop(PEAK_RSS_GAUGE, 0) >= 0
         assert registry.gauges == {"depth": 4.0}
         assert registry.find("timed") is not None
 
@@ -86,7 +97,39 @@ class TestTelemetry:
         assert rebuilt.meta == {"workload": "toy"}
         assert rebuilt.find("child") is not None
         assert data["counters"] == {"edges": 9}
+        assert data["gauges"].pop(PEAK_RSS_GAUGE, 0) >= 0
         assert data["gauges"] == {"load": 1.5}
+
+    def test_gauge_max_is_a_high_water_mark(self):
+        registry = Telemetry()
+        registry.gauge_max("peak", 5.0)
+        registry.gauge_max("peak", 3.0)
+        assert registry.gauges["peak"] == 5.0
+        registry.gauge_max("peak", 9.0)
+        assert registry.gauges["peak"] == 9.0
+
+    def test_peak_rss_sampling_is_positive_and_monotonic(self):
+        from repro.obs import peak_rss_bytes
+
+        first = peak_rss_bytes()
+        assert first > 0
+        assert peak_rss_bytes() >= first
+
+    def test_merge_child_maxes_peak_rss_instead_of_overwriting(self):
+        parent, child = Telemetry(), Telemetry()
+        parent.gauge_max(PEAK_RSS_GAUGE, 500.0)
+        child.gauge(PEAK_RSS_GAUGE, 100.0)
+        child.gauge("worker.peak_rss", 250.0)
+        child.gauge("ratio", 0.5)
+        parent.merge_child(child.to_dict(), label="worker[0]")
+        # A smaller child peak must not clobber the parent's high water.
+        assert parent.gauges[PEAK_RSS_GAUGE] == 500.0
+        assert parent.gauges["worker.peak_rss"] == 250.0
+        assert parent.gauges["ratio"] == 0.5
+        bigger = Telemetry()
+        bigger.gauge(PEAK_RSS_GAUGE, 900.0)
+        parent.merge_child(bigger.to_dict(), label="worker[1]")
+        assert parent.gauges[PEAK_RSS_GAUGE] == 900.0
 
     def test_merge_child_sums_counters_and_wraps_spans(self):
         parent, child = Telemetry(), Telemetry()
@@ -274,6 +317,7 @@ class TestRunReport:
         rendered = report.render()
         assert "miss attribution" in rendered
         assert "place.phase6" in rendered
+        assert "peak RSS" in rendered
 
     def test_report_rejects_leaky_stats(self, toy_workload, small_cache):
         result = run_experiment(toy_workload, cache_config=small_cache)

@@ -291,3 +291,50 @@ class TestExperimentFanout:
             from repro.experiments.common import cached_experiment
 
             cached_experiment("espresso", same_input=True)
+
+
+class TestPayloadGuard:
+    """Fan-out payloads stay handle-sized; bulk data fails fast by name."""
+
+    def test_experiment_specs_are_handle_sized(self):
+        import pickle
+
+        specs = [
+            ExperimentSpec(workload=name, same_input=True)
+            for name in ("compress", "espresso", "deltablue")
+        ]
+        for spec in specs:
+            assert len(pickle.dumps(spec)) < 4096
+
+    def test_oversized_payload_fails_fast_with_task_named(self):
+        blob = b"x" * (parallel.MAX_TASK_PAYLOAD_BYTES + 1)
+        with pytest.raises(parallel.TaskPayloadError, match="task-big"):
+            parallel._check_payloads([(1,), (blob,)], ["task-small", "task-big"])
+
+    def test_payload_sizes_are_observed(self):
+        from repro.obs import Telemetry, use
+
+        registry = Telemetry()
+        with use(registry):
+            parallel._check_payloads([(1,), (2, 3)], ["a", "b"])
+        assert registry.counters["fanout.payload_bytes"] > 0
+        assert registry.gauges["fanout.payload.max_bytes"] > 0
+
+    def test_env_override_and_disable(self, monkeypatch):
+        monkeypatch.setenv(parallel.MAX_TASK_PAYLOAD_ENV, "16")
+        assert parallel.max_task_payload_bytes() == 16
+        with pytest.raises(parallel.TaskPayloadError):
+            parallel._check_payloads([("a" * 64,)], ["tiny-cap"])
+        monkeypatch.setenv(parallel.MAX_TASK_PAYLOAD_ENV, "0")
+        parallel._check_payloads([("a" * 64,)], ["disabled"])  # no raise
+        monkeypatch.setenv(parallel.MAX_TASK_PAYLOAD_ENV, "junk")
+        assert (
+            parallel.max_task_payload_bytes() == parallel.MAX_TASK_PAYLOAD_BYTES
+        )
+
+    def test_pooled_fanout_rejects_bulk_data_before_spawning(self):
+        blob = b"y" * (parallel.MAX_TASK_PAYLOAD_BYTES + 1)
+        with pytest.raises(parallel.TaskPayloadError):
+            parallel._resilient_map(
+                [(blob,)], ["bulk"], _pool_square, _inline_square, jobs=2
+            )
