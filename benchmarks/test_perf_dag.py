@@ -1,0 +1,52 @@
+"""Bench: job-graph scheduling vs the coarse per-spec fan-out.
+
+Runs :func:`repro.runtime.bench.run_dag_bench` under the benchmark timer
+and writes ``BENCH_dag.json``: the Table 2 + Table 4 pipeline run three
+ways at the same worker count — legacy-cold (scheduler disabled, each
+table prefetching its own coarse fan-out), dag-cold (both tables planned
+as one deduplicated job graph), dag-warm (the dag arm rerun over its own
+store).
+
+Shapes asserted:
+
+* all three arms render byte-identical tables;
+* the dag-cold arm deduplicates shared training stages before
+  execution (``deduped > 0``, ``executed < total``);
+* the dag-warm arm schedules zero stage executions (full warm prune);
+* the JSON report exists and round-trips with the headline numbers.
+
+The ≥1.5x cold speedup claim is asserted by the committed full-size
+``BENCH_dag.json`` (CI regenerates it in the ``dag-smoke`` job); the
+quick arm here only checks the speedup is recorded, since two-program
+runs are too short for a stable ratio on shared runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from conftest import run_once
+
+from repro.runtime.bench import run_dag_bench
+
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_dag.json")
+
+
+def test_perf_dag(benchmark):
+    result = run_once(benchmark, run_dag_bench, quick=True, output=OUTPUT)
+
+    assert result["identical"], "all arms must render bit-identical tables"
+    sched = result["arms"]["dag_cold"]["sched"]
+    assert sched["deduped"] > 0
+    assert sched["executed"] < sched["total"]
+    assert result["warm_executed"] == 0
+    assert result["arms"]["dag_warm"]["sched"]["pruned"] > 0
+    assert result["speedup"] > 0
+
+    with open(OUTPUT) as handle:
+        report = json.load(handle)
+    assert report["programs"] == result["programs"]
+    assert report["identical"] is True
+    assert set(report["arms"]) == {"legacy_cold", "dag_cold", "dag_warm"}
+    assert report["job_seconds_by_kind"]

@@ -242,11 +242,20 @@ def cmd_summary(args) -> int:
     return 0
 
 
+#: Tables whose experiments can share one prefetch fan-out (and one job
+#: graph): the keyword batch each contributes to
+#: :func:`repro.experiments.common.prefetch_experiment_batches`.
+_BATCHABLE_TABLES = {
+    "table2": {"same_input": True},
+    "table4": {"same_input": False},
+}
+
+
 def cmd_tables(args) -> int:
     import inspect
 
     from . import experiments
-    from .experiments.common import set_parallel_jobs
+    from .experiments.common import all_programs, set_parallel_jobs
     from .runtime import parallel
     from .runtime.faults import FaultToleranceError, RetryPolicy
 
@@ -275,31 +284,48 @@ def cmd_tables(args) -> int:
         "sampling": experiments.run_sampling_study,
         "sensitivity": experiments.run_input_sensitivity,
     }
-    runner = runners[args.table]
-    kwargs = {}
+    programs = None
     if args.programs:
         programs = [name.strip() for name in args.programs.split(",")]
         unknown = sorted(set(programs) - set(workload_names()))
         if unknown:
             print(f"unknown programs: {', '.join(unknown)}", file=sys.stderr)
             return 2
-        params = inspect.signature(runner).parameters
-        if "programs" in params:
-            kwargs["programs"] = programs
-        elif "program" in params and len(programs) == 1:
-            kwargs["program"] = programs[0]
-        else:
-            print(
-                f"{args.table} does not take a program subset", file=sys.stderr
-            )
-            return 2
+    table_kwargs: dict[str, dict] = {}
+    for table in args.table:
+        kwargs = {}
+        if programs:
+            params = inspect.signature(runners[table]).parameters
+            if "programs" in params:
+                kwargs["programs"] = programs
+            elif "program" in params and len(programs) == 1:
+                kwargs["program"] = programs[0]
+            else:
+                print(
+                    f"{table} does not take a program subset", file=sys.stderr
+                )
+                return 2
+        table_kwargs[table] = kwargs
+    batches = [
+        dict(_BATCHABLE_TABLES[table], programs=programs or all_programs())
+        for table in dict.fromkeys(args.table)
+        if table in _BATCHABLE_TABLES
+    ]
     try:
-        result = runner(**kwargs)
+        if len(batches) > 1 and args.jobs > 1:
+            # Requested tables that share experiments run as one
+            # combined fan-out — on the scheduler path, one job graph
+            # whose common training stages execute exactly once.
+            from .experiments.common import prefetch_experiment_batches
+
+            prefetch_experiment_batches(batches, jobs=args.jobs)
+        for table in args.table:
+            result = runners[table](**table_kwargs[table])
+            print(result.render())
     except FaultToleranceError as exc:
         print(exc.report.render(), file=sys.stderr)
-        print(f"tables {args.table} aborted: {exc}", file=sys.stderr)
+        print(f"tables {' '.join(args.table)} aborted: {exc}", file=sys.stderr)
         return 1
-    print(result.render())
     report = parallel.combined_fanout_report()
     if report is not None and (
         report.degraded or report.retries or report.timeouts or report.crashes
@@ -308,18 +334,73 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def cmd_jobs(args) -> int:
+    from .experiments.common import all_programs, paper_cache
+    from .runtime import parallel
+    from .runtime.faults import FaultToleranceError, RetryPolicy
+    from .runtime.parallel import ExperimentSpec
+    from .sched.executor import run_experiments_dag
+    from .sched.jobs import plan_experiments, probe_graph
+    from .sched.status import render_jobs
+    from .store import current_store
+
+    parallel.set_retry_policy(
+        RetryPolicy(
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            best_effort=args.best_effort,
+        )
+    )
+    parallel.reset_fanout_reports()
+    programs = all_programs()
+    if args.programs:
+        programs = [name.strip() for name in args.programs.split(",")]
+        unknown = sorted(set(programs) - set(workload_names()))
+        if unknown:
+            print(f"unknown programs: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    specs = [
+        ExperimentSpec(
+            workload=name,
+            same_input=_BATCHABLE_TABLES[table]["same_input"],
+            cache_config=paper_cache(),
+        )
+        for table in dict.fromkeys(args.table)
+        for name in programs
+    ]
+    if args.plan:
+        graph, _aggregates = plan_experiments(specs)
+        store = current_store()
+        if store is not None:
+            probe_graph(store, graph)
+        print(render_jobs(graph))
+        return 0
+    try:
+        _results, graph, summary = run_experiments_dag(specs, jobs=args.jobs)
+    except FaultToleranceError as exc:
+        print(exc.report.render(), file=sys.stderr)
+        print(f"jobs aborted: {exc}", file=sys.stderr)
+        return 1
+    print(render_jobs(graph))
+    print(summary.line())
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .runtime.bench import (
         CACHE_OUTPUT,
+        DAG_OUTPUT,
         DEFAULT_OUTPUT,
         PLACEMENT_OUTPUT,
         SCALE_OUTPUT,
         render_bench,
         render_cache_bench,
+        render_dag_bench,
         render_placement_bench,
         render_scale_bench,
         run_bench,
         run_cache_bench,
+        run_dag_bench,
         run_placement_bench,
         run_scale_bench,
     )
@@ -357,6 +438,16 @@ def cmd_bench(args) -> int:
             and result["rss_bound_ok"] is not False
             and not result["leaks"]
         )
+        return 0 if ok else 1
+    if args.dag:
+        result = run_dag_bench(
+            quick=args.quick,
+            jobs=args.jobs if args.jobs != 1 else 4,
+            output=args.output or DAG_OUTPUT,
+            progress=print,
+        )
+        print(render_dag_bench(result))
+        ok = bool(result["identical"]) and result["warm_executed"] == 0
         return 0 if ok else 1
     if args.store:
         result = run_cache_bench(
@@ -439,7 +530,37 @@ def cmd_cache(args) -> int:
 #: Commands that consult the artifact store, mapped to whether caching
 #: is on by default (``bench`` opts in only via an explicit flag so its
 #: timing arms stay honest).
-_STORE_COMMANDS = {"run": True, "tables": True, "report": True, "bench": False}
+_STORE_COMMANDS = {
+    "run": True,
+    "tables": True,
+    "jobs": True,
+    "report": True,
+    "bench": False,
+}
+
+
+def _add_retry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-dispatches allowed per failing experiment shard (default 2)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-shard wall-clock deadline in seconds "
+             "(only enforced with --jobs > 1; default: none)",
+    )
+    effort = parser.add_mutually_exclusive_group()
+    effort.add_argument(
+        "--fail-fast", dest="best_effort", action="store_false",
+        help="abort the whole run when any shard exhausts its retries "
+             "(the default)",
+    )
+    effort.add_argument(
+        "--best-effort", dest="best_effort", action="store_true",
+        help="complete the remaining shards when one exhausts its retries "
+             "and emit a partial-results report (exit 0)",
+    )
+    parser.set_defaults(best_effort=False)
 
 
 def _add_store_options(parser: argparse.ArgumentParser, default_on: bool) -> None:
@@ -522,14 +643,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_summary.add_argument("--input")
     _add_cache_option(p_summary)
 
-    p_tables = sub.add_parser("tables", help="regenerate a paper table/figure")
+    p_tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     p_tables.add_argument(
         "table",
+        nargs="+",
         choices=[
             "table1", "table2", "table3", "table4", "table5",
             "figure3", "random", "geometry", "associative",
             "quality", "overhead", "hierarchy", "sampling", "sensitivity",
         ],
+        help="one or more tables; tables that share experiments "
+             "(table2 table4) are scheduled as one job graph",
     )
     p_tables.add_argument(
         "--jobs", type=int, default=1,
@@ -540,28 +664,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of programs to run "
              "(tables that accept one)",
     )
-    p_tables.add_argument(
-        "--max-retries", type=int, default=2,
-        help="re-dispatches allowed per failing experiment shard (default 2)",
-    )
-    p_tables.add_argument(
-        "--task-timeout", type=float, default=None,
-        help="per-shard wall-clock deadline in seconds "
-             "(only enforced with --jobs > 1; default: none)",
-    )
-    effort = p_tables.add_mutually_exclusive_group()
-    effort.add_argument(
-        "--fail-fast", dest="best_effort", action="store_false",
-        help="abort the whole run when any shard exhausts its retries "
-             "(the default)",
-    )
-    effort.add_argument(
-        "--best-effort", dest="best_effort", action="store_true",
-        help="complete the remaining shards when one exhausts its retries "
-             "and emit a partial-results report (exit 0)",
-    )
-    p_tables.set_defaults(best_effort=False)
+    _add_retry_options(p_tables)
     _add_store_options(p_tables, default_on=True)
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="plan or run the experiment job graph and show per-job status",
+    )
+    p_jobs.add_argument(
+        "table",
+        nargs="*",
+        default=["table2", "table4"],
+        choices=["table2", "table4"],
+        help="experiment batches to schedule (default: table2 table4)",
+    )
+    p_jobs.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for stage-job dispatch (default 1)",
+    )
+    p_jobs.add_argument(
+        "--programs", default=None,
+        help="comma-separated subset of programs (default: all nine)",
+    )
+    p_jobs.add_argument(
+        "--plan", action="store_true",
+        help="plan and warm-probe only: print the job table without "
+             "executing anything",
+    )
+    _add_retry_options(p_jobs)
+    _add_store_options(p_jobs, default_on=True)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the batched engine against the scalar baseline"
@@ -583,6 +714,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", action="store_true",
         help="benchmark the artifact store (cold vs warm pipeline run) "
              "and write BENCH_cache.json",
+    )
+    p_bench.add_argument(
+        "--dag", action="store_true",
+        help="benchmark job-graph scheduling against the coarse fan-out "
+             "(cold + warm) and write BENCH_dag.json",
     )
     p_bench.add_argument(
         "--trace-scale", action="store_true",
@@ -664,6 +800,7 @@ _COMMANDS = {
     "map": cmd_map,
     "summary": cmd_summary,
     "tables": cmd_tables,
+    "jobs": cmd_jobs,
     "bench": cmd_bench,
     "report": cmd_report,
     "cache": cmd_cache,

@@ -68,6 +68,9 @@ _experiment_cache: dict[tuple, object] = {}
 _failed_shards: dict[tuple, TaskFailure] = {}
 _trace_cache: OrderedDict[tuple[str, str], TraceRecorder] = OrderedDict()
 _trace_cache_bytes = 0
+#: (store root, workload, input) triples known to be persisted — keeps
+#: the LRU-hit path from re-checking the store on every call.
+_trace_persisted: set[tuple[str, str, str]] = set()
 
 _parallel_jobs = 1
 _engine = "auto"
@@ -134,23 +137,40 @@ def cached_trace(name: str, input_name: str) -> TraceRecorder:
     """
     global _trace_cache_bytes
     key = (name, input_name)
+    store = current_store()
     trace = _trace_cache.get(key)
     if trace is not None:
         _trace_cache.move_to_end(key)
+        # The memo may predate the store (a store-less run, or a forked
+        # worker inheriting the parent's cache): make sure the trace is
+        # persisted under *this* store root before serving it, so
+        # store-keyed consumers can find its fingerprint.
+        if store is not None:
+            _persist_trace(store, name, input_name, trace)
         return trace
-    store = current_store()
     if store is not None:
         trace = store_traces.load_trace(store, name, input_name)
+        if trace is not None:
+            _trace_persisted.add((str(store.root), name, input_name))
     if trace is None:
         trace = record_trace(make_workload(name), input_name)
         if store is not None:
-            store_traces.remember_and_save(store, name, input_name, trace)
+            _persist_trace(store, name, input_name, trace)
     _trace_cache[key] = trace
     _trace_cache_bytes += trace.nbytes
     while _trace_cache_bytes > TRACE_CACHE_BYTES and len(_trace_cache) > 1:
         _evicted_key, evicted = _trace_cache.popitem(last=False)
         _trace_cache_bytes -= evicted.nbytes
     return trace
+
+
+def _persist_trace(store, name: str, input_name: str, trace) -> None:
+    """Persist a trace under ``store`` once per (root, workload, input)."""
+    marker = (str(store.root), name, input_name)
+    if marker in _trace_persisted:
+        return
+    store_traces.remember_and_save(store, name, input_name, trace)
+    _trace_persisted.add(marker)
 
 
 def _trace_provider(workload: Workload, input_name: str) -> TraceRecorder:
@@ -287,43 +307,93 @@ def prefetch_experiments(
     recomputing it inline (outside the retry machinery).  The degrading
     harnesses catch that error and drop the shard from their output.
     """
+    prefetch_experiment_batches(
+        [
+            {
+                "programs": programs,
+                "same_input": same_input,
+                "include_random": include_random,
+                "classify": classify,
+                "track_pages": track_pages,
+                "cache_config": cache_config,
+            }
+        ],
+        jobs=jobs,
+    )
+
+
+def _use_dag_scheduler(jobs: int) -> bool:
+    """Whether the fan-out should run through the job-graph scheduler.
+
+    The DAG path needs the artifact store (stage jobs hand artifacts
+    across the process boundary through it) and the batched engine
+    (stage jobs are trace-derived); anything else stays on the coarse
+    per-spec fan-out.
+    """
+    if jobs <= 1 or _engine == "scalar" or current_store() is None:
+        return False
+    from ..sched.executor import scheduler_enabled
+
+    return scheduler_enabled()
+
+
+def prefetch_experiment_batches(batches: list[dict], jobs: int | None = None) -> None:
+    """Fill the experiment cache for several spec batches at once.
+
+    Each batch is the keyword form of :func:`prefetch_experiments`'s
+    signature (``programs`` plus flags).  Batches share one fan-out —
+    and, on the scheduler path, one job graph — so e.g. Table 2 and
+    Table 4 requested together collapse their common training stages
+    before anything runs.
+    """
     jobs = _parallel_jobs if jobs is None else jobs
-    config = cache_config or paper_cache()
-    missing = [
-        name
-        for name in programs
-        if _experiment_key(
-            name, same_input, include_random, classify, track_pages, config
-        )
-        not in _experiment_cache
-    ]
-    if jobs <= 1 or len(missing) <= 1:
+    entries: list[tuple[tuple, ExperimentSpec]] = []
+    seen: set[tuple] = set()
+    for batch in batches:
+        config = batch.get("cache_config") or paper_cache()
+        same_input = bool(batch.get("same_input"))
+        include_random = bool(batch.get("include_random"))
+        classify = bool(batch.get("classify"))
+        track_pages = bool(batch.get("track_pages"))
+        for name in batch["programs"]:
+            key = _experiment_key(
+                name, same_input, include_random, classify, track_pages, config
+            )
+            if key in _experiment_cache or key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                (
+                    key,
+                    ExperimentSpec(
+                        workload=name,
+                        same_input=same_input,
+                        include_random=include_random,
+                        classify=classify,
+                        track_pages=track_pages,
+                        cache_config=config,
+                        engine=_engine,
+                    ),
+                )
+            )
+    if jobs <= 1 or len(entries) <= 1:
         return
-    specs = [
-        ExperimentSpec(
-            workload=name,
-            same_input=same_input,
-            include_random=include_random,
-            classify=classify,
-            track_pages=track_pages,
-            cache_config=config,
-            engine=_engine,
-        )
-        for name in missing
-    ]
-    results = run_experiments(specs, jobs=jobs)
+    specs = [spec for _key, spec in entries]
+    if _use_dag_scheduler(jobs):
+        from ..sched.executor import run_experiments_dag
+
+        results, _graph, _summary = run_experiments_dag(specs, jobs=jobs)
+    else:
+        results = run_experiments(specs, jobs=jobs)
     report = parallel.last_fanout_report()
     failures = (
         {failure.label: failure for failure in report.failures}
         if report is not None
         else {}
     )
-    for name, result in zip(missing, results):
-        key = _experiment_key(
-            name, same_input, include_random, classify, track_pages, config
-        )
+    for (key, spec), result in zip(entries, results):
         if result is None:
-            failure = failures.get(name)
+            failure = failures.get(spec.workload)
             if failure is not None:
                 _failed_shards[key] = failure
             continue
@@ -435,4 +505,5 @@ def clear_cache() -> None:
     _experiment_cache.clear()
     _failed_shards.clear()
     _trace_cache.clear()
+    _trace_persisted.clear()
     _trace_cache_bytes = 0

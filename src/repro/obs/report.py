@@ -187,6 +187,21 @@ class RunReport:
                 f"  peak RSS: {peak / (1 << 20):,.1f} MiB "
                 "(max across run and merged workers)"
             )
+        sched = {
+            name.split(".", 1)[1]: value
+            for name, value in self.telemetry.get("counters", {}).items()
+            if name.startswith("sched.")
+        }
+        if sched:
+            critical_path = self.telemetry.get("gauges", {}).get(
+                "sched.critical_path_seconds"
+            )
+            parts = [
+                f"{name}={value}" for name, value in sorted(sched.items())
+            ]
+            if critical_path is not None:
+                parts.append(f"critical_path={critical_path:.2f}s")
+            lines.append("  scheduler: " + " ".join(parts))
         if self.telemetry:
             registry = Telemetry()
             registry.counters = dict(self.telemetry.get("counters", {}))
@@ -239,5 +254,10 @@ def run_report(
                 classify=classify,
                 trace_provider=provider,
             )
+            # A full-warm store reassembles the experiment without ever
+            # asking for a trace; record the test trace now so the
+            # workload-statistics section survives warm reruns.
+            if result.test_input not in traces:
+                provider(workload, result.test_input)
         test_stats = traces[result.test_input].stats()
     return RunReport.from_experiment(result, telemetry, test_stats=test_stats)

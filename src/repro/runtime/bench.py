@@ -40,6 +40,7 @@ QUICK_PROGRAMS = ("deltablue", "espresso")
 DEFAULT_OUTPUT = "BENCH_pipeline.json"
 PLACEMENT_OUTPUT = "BENCH_placement.json"
 CACHE_OUTPUT = "BENCH_cache.json"
+DAG_OUTPUT = "BENCH_dag.json"
 
 
 def _time_tables(programs: list[str]) -> dict[str, float]:
@@ -381,6 +382,160 @@ def run_cache_bench(
             json.dump(result, handle, indent=2)
         result["output"] = output
     return result
+
+
+def run_dag_bench(
+    quick: bool = True,
+    jobs: int = 4,
+    output: str | None = DAG_OUTPUT,
+    programs: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Benchmark job-graph scheduling against the coarse per-spec fan-out.
+
+    Three arms over the Table 2 + Table 4 pipeline at the same worker
+    count, each from a cleared in-process memo:
+
+    * **legacy-cold** — scheduler disabled, fresh store: the pre-DAG
+      path (each table prefetches its own coarse per-spec fan-out, the
+      second table re-probing what the first persisted).
+    * **dag-cold** — scheduler enabled, fresh store: both tables
+      planned as one job graph, shared training stages deduplicated
+      before execution, stage jobs dispatched longest-estimated-first.
+    * **dag-warm** — the dag arm rerun over its own store: the probe
+      pass must prune every stage job (``executed == 0``).
+
+    All three arms must render byte-identical tables.  The headline
+    ``speedup`` is legacy-cold over dag-cold wall-clock; the dag arms'
+    scheduler summaries and the per-kind mean job seconds (the cost
+    priors' feedback history) are included in the JSON.
+    """
+    import shutil
+    import tempfile
+
+    from ..experiments import run_table2, run_table4
+    from ..experiments.common import (
+        all_programs,
+        clear_cache,
+        prefetch_experiment_batches,
+        set_parallel_jobs,
+    )
+    from ..sched.executor import _effective_cpus, last_summary, set_scheduler
+    from ..store import ArtifactStore, use_store
+
+    say = progress or (lambda _message: None)
+    if programs is None:
+        programs = list(QUICK_PROGRAMS) if quick else all_programs()
+    batches = [
+        {"programs": programs, "same_input": True},
+        {"programs": programs, "same_input": False},
+    ]
+    roots = [
+        tempfile.mkdtemp(prefix="repro-dag-bench-") for _arm in ("legacy", "dag")
+    ]
+
+    def run_arm(label: str, root: str, dag: bool) -> dict[str, object]:
+        say(f"{label} arm...")
+        clear_cache()
+        set_scheduler(dag)
+        store = ArtifactStore(root)
+        with use_store(store):
+            set_parallel_jobs(jobs)
+            start = time.perf_counter()
+            if dag:
+                prefetch_experiment_batches(batches, jobs=jobs)
+            table2 = run_table2(programs)
+            table4 = run_table4(programs)
+            elapsed = time.perf_counter() - start
+        arm: dict[str, object] = {
+            "total_s": elapsed,
+            "tables": {"table2": table2.render(), "table4": table4.render()},
+        }
+        summary = last_summary()
+        if dag and summary is not None:
+            arm["sched"] = {
+                "total": summary.total,
+                "executed": summary.executed,
+                "deduped": summary.deduped,
+                "pruned": summary.pruned,
+                "critical_path_s": summary.critical_path_seconds,
+            }
+            arm["job_seconds_by_kind"] = dict(summary.job_seconds_by_kind)
+        return arm
+
+    try:
+        legacy = run_arm("legacy-cold", roots[0], dag=False)
+        dag_cold = run_arm("dag-cold", roots[1], dag=True)
+        dag_warm = run_arm("dag-warm", roots[1], dag=True)
+    finally:
+        set_scheduler(True)
+        set_parallel_jobs(1)
+        clear_cache()
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+
+    identical = (
+        legacy["tables"] == dag_cold["tables"]
+        and dag_cold["tables"] == dag_warm["tables"]
+    )
+    result: dict[str, object] = {
+        "quick": quick,
+        "programs": programs,
+        "jobs": jobs,
+        # The cold speedup is dominated by dedup on a single effective
+        # CPU; critical-path overlap only shows with real cores.
+        "effective_cpus": _effective_cpus(),
+        "arms": {
+            "legacy_cold": {
+                key: legacy[key] for key in legacy if key != "tables"
+            },
+            "dag_cold": {
+                key: dag_cold[key] for key in dag_cold if key != "tables"
+            },
+            "dag_warm": {
+                key: dag_warm[key] for key in dag_warm if key != "tables"
+            },
+        },
+        "identical": identical,
+        "speedup": (
+            legacy["total_s"] / dag_cold["total_s"]
+            if dag_cold["total_s"]
+            else 0.0
+        ),
+        "warm_executed": (dag_warm.get("sched") or {}).get("executed"),
+        "job_seconds_by_kind": dag_cold.get("job_seconds_by_kind", {}),
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+        result["output"] = output
+    return result
+
+
+def render_dag_bench(result: dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_dag_bench` result."""
+    arms = result["arms"]
+    sched = arms["dag_cold"].get("sched", {})
+    warm_sched = arms["dag_warm"].get("sched", {})
+    lines = [
+        f"job-graph scheduler ({', '.join(result['programs'])}, "
+        f"--jobs {result['jobs']}, "
+        f"{result.get('effective_cpus', '?')} effective cpu(s)):",
+        f"  legacy cold  {arms['legacy_cold']['total_s']:6.2f}s   "
+        "(coarse per-spec fan-out)",
+        f"  dag cold     {arms['dag_cold']['total_s']:6.2f}s   "
+        f"(jobs={sched.get('total', '?')}, executed={sched.get('executed', '?')}, "
+        f"deduped={sched.get('deduped', '?')}, "
+        f"critical path {sched.get('critical_path_s', 0.0):.2f}s)",
+        f"  dag warm     {arms['dag_warm']['total_s']:6.2f}s   "
+        f"(executed={warm_sched.get('executed', '?')}, "
+        f"pruned={warm_sched.get('pruned', '?')})",
+        f"  -> {result['speedup']:.2f}x cold speedup, tables "
+        + ("bit-identical" if result["identical"] else "MISMATCH"),
+    ]
+    if "output" in result:
+        lines.append(f"wrote {result['output']}")
+    return "\n".join(lines)
 
 
 def render_cache_bench(result: dict[str, object]) -> str:

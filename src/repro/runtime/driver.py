@@ -345,20 +345,24 @@ def run_experiment(
     if artifact_store is not None:
         # Full-warm path: when every stage entry hits (keyed off the
         # recorded trace fingerprints), the experiment is reassembled
-        # from the store and the workload never executes.
-        cached = store_stages.try_load_experiment(
-            artifact_store,
-            workload,
-            train,
-            test,
-            cache_config,
-            include_random,
-            random_seed,
-            classify,
-            track_pages,
-            place_heap=place_heap,
-        )
+        # from the store and the workload never executes.  The probe's
+        # hits commit only on success — a partial probe must not count
+        # misses the recording pipeline is about to recount.
+        with artifact_store.probing() as probe:
+            cached = store_stages.try_load_experiment(
+                artifact_store,
+                workload,
+                train,
+                test,
+                cache_config,
+                include_random,
+                random_seed,
+                classify,
+                track_pages,
+                place_heap=place_heap,
+            )
         if cached is not None:
+            probe.commit()
             return cached
     if engine == "scalar":
         profile, placement = build_placement(

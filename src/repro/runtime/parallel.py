@@ -175,6 +175,17 @@ def combined_fanout_report() -> FanoutReport | None:
     return combined
 
 
+def record_report(report: FanoutReport) -> None:
+    """Append an externally-built fan-out report to the accumulator.
+
+    The DAG executor (:mod:`repro.sched.executor`) synthesizes a
+    spec-level report from its job-level dispatch so downstream
+    consumers — the partial-results rendering, ``repro report`` — see
+    the same shape a coarse fan-out would produce.
+    """
+    _reports.append(report)
+
+
 # -- worker entry points ------------------------------------------------------
 
 
@@ -351,15 +362,21 @@ def _inline_map(
     policy: RetryPolicy,
     plan: FaultPlan,
     report: FanoutReport,
+    feed: Callable | None = None,
 ) -> list:
     """Sequential resilient execution in the parent process.
 
     Injected crashes and hangs are simulated with exceptions (a real
     inline hang could not be interrupted), so the single-job path
     exercises the same retry and degradation machinery as the pool.
+    ``feed`` (see :func:`_resilient_map`) may extend ``items`` and
+    ``labels`` in place as tasks complete.
     """
     results: list = [None] * len(items)
-    for index, args in enumerate(items):
+    index = -1
+    while index + 1 < len(items):
+        index += 1
+        args = items[index]
         attempt = 0
         while True:
             try:
@@ -371,6 +388,14 @@ def _inline_map(
                         )
                 results[index] = run(args)
                 report.completed += 1
+                if feed is not None:
+                    for fed_args, fed_label, _priority in feed(
+                        index, results[index]
+                    ):
+                        items.append(fed_args)
+                        labels.append(fed_label)
+                        results.append(None)
+                        report.total += 1
                 break
             except faults.FaultToleranceError:
                 raise
@@ -429,6 +454,8 @@ def _pooled_map(
     plan: FaultPlan,
     finalize: Callable,
     report: FanoutReport,
+    priorities: list[float] | None = None,
+    feed: Callable | None = None,
 ) -> list:
     """Resilient fan-out over a (respawnable) process pool.
 
@@ -438,6 +465,11 @@ def _pooled_map(
     cannot be attributed); a deadline expiry costs only the overdue
     tasks an attempt — the survivors are re-dispatched as-is after the
     pool is killed and respawned.
+
+    With ``priorities``, dispatchable tasks are submitted
+    longest-estimated-first so one heavy shard never serializes the
+    fan-out behind it; ``feed`` (see :func:`_resilient_map`) injects
+    newly unblocked tasks as their dependencies settle.
     """
     results: list = [None] * len(items)
     pending: list[list] = [[index, 0, 0.0] for index in range(len(items))]
@@ -450,6 +482,16 @@ def _pooled_map(
             return
         results[index] = finalize(index, attempt, outcome)
         report.completed += 1
+        if feed is not None:
+            for fed_args, fed_label, fed_priority in feed(index, results[index]):
+                _check_payloads([fed_args], [fed_label])
+                items.append(fed_args)
+                labels.append(fed_label)
+                if priorities is not None:
+                    priorities.append(fed_priority)
+                results.append(None)
+                report.total += 1
+                pending.append([len(items) - 1, 0, 0.0])
 
     def fail(index: int, attempt: int, kind: str, message: str) -> None:
         delay = _register_failure(report, policy, labels, index, attempt, kind, message)
@@ -488,7 +530,13 @@ def _pooled_map(
             progressed = True
             while progressed and len(active) < jobs and pending:
                 progressed = False
-                for entry in list(pending):
+                if priorities is None:
+                    candidates = list(pending)
+                else:
+                    candidates = sorted(
+                        pending, key=lambda entry: -priorities[entry[0]]
+                    )
+                for entry in candidates:
                     if len(active) >= jobs:
                         break
                     index, attempt, ready_at = entry
@@ -590,6 +638,8 @@ def _resilient_map(
     inline: Callable,
     jobs: int,
     policy: RetryPolicy | None = None,
+    priorities: list[float] | None = None,
+    feed: Callable | None = None,
 ) -> tuple[list, FanoutReport]:
     """Run tasks under the retry policy, pooled or inline; keep order.
 
@@ -599,6 +649,13 @@ def _resilient_map(
     best-effort tasks leave ``None`` holes in the result list; the
     report is also appended to the module accumulator
     (:func:`fanout_reports`).
+
+    ``priorities`` (parallel to ``items``, estimated seconds) makes
+    pooled submission longest-estimated-first.  ``feed(index, result)``
+    turns the fan-out into a dynamic frontier: called after each task
+    settles, it returns ``(args, label, priority)`` triples for tasks
+    that just became dispatchable, which are appended to the run (the
+    DAG executor's ready-set expansion).
     """
     policy = _policy if policy is None else policy
     plan = FaultPlan.from_env()
@@ -619,11 +676,22 @@ def _resilient_map(
 
     try:
         if jobs == 1:
-            results = _inline_map(items, labels, inline, policy, plan, report)
+            results = _inline_map(
+                items, labels, inline, policy, plan, report, feed=feed
+            )
         else:
             _check_payloads(items, labels)
             results = _pooled_map(
-                items, labels, worker, jobs, policy, plan, finalize, report
+                items,
+                labels,
+                worker,
+                jobs,
+                policy,
+                plan,
+                finalize,
+                report,
+                priorities=priorities,
+                feed=feed,
             )
     finally:
         _reports.append(report)
@@ -633,8 +701,27 @@ def _resilient_map(
 # -- experiment fan-out -------------------------------------------------------
 
 
+def _longest_first(specs: list, cold: list[int]) -> list[int]:
+    """Cold spec indices reordered longest-estimated-first (stable).
+
+    Cost priors come from :mod:`repro.sched.costs` (benchmark history
+    when present, static weights otherwise); dispatching the heavy
+    shard first keeps it from serializing the tail of the fan-out.
+    """
+    from ..sched.costs import spec_cost
+
+    return sorted(cold, key=lambda index: -spec_cost(specs[index]))
+
+
 def _warm_experiment(spec: ExperimentSpec) -> ExperimentResult | None:
-    """Reassemble one spec's result from the active store, or None."""
+    """Reassemble one spec's result from the active store, or None.
+
+    Runs under :meth:`~repro.store.store.ArtifactStore.probing`: a
+    full reassembly commits its hits once; a cold spec's partial probe
+    leaves the counters untouched (the dispatched worker will recount
+    the stages it actually consults).  This keeps the scheduler's
+    prune pass and the dispatcher's warm path on one counter source.
+    """
     store = current_store()
     if store is None or spec.engine == "scalar":
         return None
@@ -643,17 +730,21 @@ def _warm_experiment(spec: ExperimentSpec) -> ExperimentResult | None:
     workload = make_workload(spec.workload)
     train = workload.train_input
     test = train if spec.same_input else workload.test_input
-    return store_stages.try_load_experiment(
-        store,
-        workload,
-        train,
-        test,
-        spec.cache_config,
-        spec.include_random,
-        12345,
-        spec.classify,
-        spec.track_pages,
-    )
+    with store.probing() as probe:
+        result = store_stages.try_load_experiment(
+            store,
+            workload,
+            train,
+            test,
+            spec.cache_config,
+            spec.include_random,
+            12345,
+            spec.classify,
+            spec.track_pages,
+        )
+    if result is not None:
+        probe.commit()
+    return result
 
 
 def _experiment_checkpoints(store: ArtifactStore, spec: ExperimentSpec) -> dict:
@@ -725,6 +816,7 @@ def run_experiments(
     cold = [index for index, result in enumerate(results) if result is None]
     if not cold:
         return results
+    cold = _longest_first(specs, cold)
     jobs = default_jobs() if jobs is None else jobs
     jobs = max(1, min(jobs, len(cold)))
     store_root = str(store.root) if store is not None else None
@@ -755,7 +847,11 @@ def run_experiments(
 
 
 def _warm_placement(spec: PlacementSpec):
-    """Load one spec's placement map from the active store, or None."""
+    """Load one spec's placement map from the active store, or None.
+
+    Probed like :func:`_warm_experiment`: hits commit only when the
+    shard is actually served warm.
+    """
     store = current_store()
     if store is None:
         return None
@@ -764,16 +860,18 @@ def _warm_placement(spec: PlacementSpec):
     workload = make_workload(spec.workload)
     train = spec.train_input or workload.train_input
     place_heap = workload.place_heap if spec.place_heap is None else spec.place_heap
-    pair = store_stages.try_load_placement_pair(
-        store,
-        workload.name,
-        train,
-        spec.cache_config,
-        place_heap,
-        spec.placement_engine,
-    )
+    with store.probing() as probe:
+        pair = store_stages.try_load_placement_pair(
+            store,
+            workload.name,
+            train,
+            spec.cache_config,
+            place_heap,
+            spec.placement_engine,
+        )
     if pair is None:
         return None
+    probe.commit()
     _profile, placement = pair
     return placement
 
@@ -818,6 +916,7 @@ def run_placements(
     cold = [index for index, result in enumerate(results) if result is None]
     if not cold:
         return results
+    cold = _longest_first(specs, cold)
     jobs = default_jobs() if jobs is None else jobs
     jobs = max(1, min(jobs, len(cold)))
     store_root = str(store.root) if store is not None else None

@@ -1,0 +1,46 @@
+"""Explicit job-graph scheduler for the experiment pipeline.
+
+The experiment harnesses used to walk the pipeline implicitly —
+per-spec worker shards that each re-derive what to run.  This package
+makes the plan explicit: :mod:`~repro.sched.jobs` expands experiment
+specs into a stage-typed :class:`~repro.sched.graph.JobGraph` whose
+nodes are keyed by store-digest (so identical work across experiments
+deduplicates *before* execution), a store probe pass prunes
+already-computed nodes (partial-graph resume), and
+:mod:`~repro.sched.executor` drains the ready frontier
+longest-estimated-first through the fault-tolerant dispatcher.
+
+Only the inert pieces import eagerly; the executor pulls in the runtime
+stack and is imported lazily by its callers.
+"""
+
+from .costs import dispatch_order, job_cost, refresh_history, spec_cost
+from .graph import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    PRUNED,
+    RUNNING,
+    SATISFIED,
+    GraphCycleError,
+    Job,
+    JobGraph,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "PENDING",
+    "PRUNED",
+    "RUNNING",
+    "SATISFIED",
+    "GraphCycleError",
+    "Job",
+    "JobGraph",
+    "dispatch_order",
+    "job_cost",
+    "refresh_history",
+    "spec_cost",
+]

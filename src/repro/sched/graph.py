@@ -1,0 +1,219 @@
+"""Declared job graphs: stage-typed nodes, dedup on key, cancellation.
+
+A :class:`JobGraph` is the explicit form of the pipeline the experiment
+harnesses used to walk implicitly: one :class:`Job` per stage execution
+(trace recording, profiling, placement, per-arm measurement, aggregate
+assembly), with dependency edges declared at build time.  Three
+properties fall out of making the graph explicit:
+
+* **Cross-experiment dedup** — every job is identified by a digest over
+  its recipe (built with the same canonical-JSON machinery as the store
+  keys in :mod:`repro.store.keys`), so two experiments that need the
+  same profile collapse onto a single node *before* anything runs.  The
+  fold is recorded on the surviving node's ``dedup_count``.
+* **Partial-graph resume** — a store probe pass marks jobs whose
+  artifact already exists as ``warm-pruned``; their dependents treat the
+  edge as satisfied and a fully-warm graph schedules zero executions.
+* **Failure cancellation** — a job that exhausts its retries marks every
+  transitive dependent ``cancelled``, so a best-effort run degrades to
+  exactly the shards that could still complete.
+
+The graph itself is inert: executors live in
+:mod:`repro.sched.executor`, job recipes in :mod:`repro.sched.jobs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs import telemetry as obs
+
+#: Job lifecycle states (``repro jobs`` renders them verbatim).
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+PRUNED = "warm-pruned"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States that satisfy a dependency edge.
+SATISFIED = (DONE, PRUNED)
+
+
+class GraphCycleError(ValueError):
+    """The declared dependencies contain a cycle."""
+
+
+@dataclass
+class Job:
+    """One stage execution: a keyed, costed node in the graph."""
+
+    key: str
+    kind: str
+    label: str
+    spec: object = None
+    cost: float = 0.0
+    state: str = PENDING
+    deps: list["Job"] = field(default_factory=list)
+    dependents: list["Job"] = field(default_factory=list)
+    dedup_count: int = 0
+    seconds: float = 0.0
+    error: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def ready(self) -> bool:
+        """Dispatchable now: pending with every dependency satisfied."""
+        return self.state == PENDING and all(
+            dep.state in SATISFIED for dep in self.deps
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.label}, {self.state})"
+
+
+class JobGraph:
+    """A deduplicating DAG of :class:`Job` nodes."""
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, Job] = {}
+        self._order: list[Job] | None = None
+
+    def add(
+        self,
+        kind: str,
+        key: str,
+        *,
+        label: str,
+        spec: object = None,
+        deps: tuple[Job, ...] | list[Job] = (),
+        cost: float = 0.0,
+    ) -> Job:
+        """Declare one job; an existing node with the same key is reused.
+
+        Identical recipes across experiments collapse here — the caller
+        always gets the canonical node back, and the fold is tallied on
+        ``dedup_count`` and the ``sched.dedup`` counter.
+        """
+        existing = self.jobs.get(key)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"job key collision across kinds: {existing.kind} vs {kind}"
+                )
+            existing.dedup_count += 1
+            obs.count("sched.dedup")
+            return existing
+        job = Job(key=key, kind=kind, label=label, spec=spec, cost=cost)
+        for dep in deps:
+            job.deps.append(dep)
+            dep.dependents.append(job)
+        self.jobs[key] = job
+        self._order = None
+        return job
+
+    def __iter__(self):
+        return iter(self.jobs.values())
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    # -- structure -----------------------------------------------------------
+
+    def seal(self) -> list[Job]:
+        """Topologically order the graph; raises :class:`GraphCycleError`.
+
+        Kahn's algorithm: if any node never reaches in-degree zero, the
+        leftovers form (or feed) a cycle and the graph is rejected with
+        their labels.
+        """
+        if self._order is not None:
+            return self._order
+        in_degree = {job.key: len(job.deps) for job in self}
+        frontier = [job for job in self if in_degree[job.key] == 0]
+        order: list[Job] = []
+        while frontier:
+            job = frontier.pop()
+            order.append(job)
+            for dependent in job.dependents:
+                in_degree[dependent.key] -= 1
+                if in_degree[dependent.key] == 0:
+                    frontier.append(dependent)
+        if len(order) != len(self.jobs):
+            stuck = [
+                job.label for job in self if in_degree[job.key] > 0
+            ]
+            raise GraphCycleError(
+                "dependency cycle through: " + ", ".join(sorted(stuck))
+            )
+        self._order = order
+        return order
+
+    def topo_order(self) -> list[Job]:
+        """The sealed topological order (seals on first use)."""
+        return self.seal()
+
+    # -- state transitions ---------------------------------------------------
+
+    def mark_pruned(self, job: Job) -> None:
+        """Record that ``job``'s artifact is already in the store."""
+        job.state = PRUNED
+        obs.count("sched.pruned")
+
+    def mark_running(self, job: Job) -> None:
+        job.state = RUNNING
+
+    def mark_done(self, job: Job, seconds: float = 0.0) -> None:
+        job.state = DONE
+        job.seconds = seconds
+
+    def mark_failed(self, job: Job, error: str) -> list[Job]:
+        """Fail one job and cancel its transitive dependents.
+
+        Returns the newly cancelled jobs (already-finished dependents —
+        impossible for true dependents, but defensively skipped — are
+        left alone).
+        """
+        job.state = FAILED
+        job.error = error
+        cancelled: list[Job] = []
+        frontier = list(job.dependents)
+        while frontier:
+            dependent = frontier.pop()
+            if dependent.state not in (PENDING, RUNNING):
+                continue
+            dependent.state = CANCELLED
+            dependent.error = f"dependency failed: {job.label}"
+            cancelled.append(dependent)
+            frontier.extend(dependent.dependents)
+        return cancelled
+
+    # -- queries -------------------------------------------------------------
+
+    def ready_jobs(self) -> list[Job]:
+        """Every currently dispatchable job, in declaration order."""
+        return [job for job in self if job.ready()]
+
+    def critical_path_seconds(self) -> float:
+        """Longest chain of estimated cost through the unpruned graph.
+
+        The lower bound on wall-clock no amount of parallelism beats;
+        pruned jobs contribute zero.
+        """
+        longest: dict[str, float] = {}
+        best = 0.0
+        for job in self.topo_order():
+            cost = 0.0 if job.state == PRUNED else job.cost
+            start = max(
+                (longest[dep.key] for dep in job.deps), default=0.0
+            )
+            longest[job.key] = start + cost
+            best = max(best, longest[job.key])
+        return best
+
+    def counts(self) -> dict[str, int]:
+        """Node tally per state (plus the total dedup fold count)."""
+        tally: dict[str, int] = {}
+        for job in self:
+            tally[job.state] = tally.get(job.state, 0) + 1
+        tally["deduped"] = sum(job.dedup_count for job in self)
+        return tally

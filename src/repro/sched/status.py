@@ -1,0 +1,54 @@
+"""Render a job graph as the ``repro jobs`` status table.
+
+Plain fixed-width text (no table dependency), one row per node in
+topological order: stage kind, label, state, estimated cost, measured
+seconds, and how many requests folded onto the node.  The summary line
+underneath is the machine-greppable ``[sched] ...`` form CI keys on.
+"""
+
+from __future__ import annotations
+
+from .graph import DONE, JobGraph
+
+_COLUMNS = ("job", "kind", "state", "est", "took", "folds")
+
+
+def _rows(graph: JobGraph) -> list[tuple[str, ...]]:
+    rows = []
+    for job in graph.topo_order():
+        rows.append(
+            (
+                job.label,
+                job.kind,
+                job.state,
+                f"{job.cost:.2f}s",
+                f"{job.seconds:.2f}s" if job.state == DONE else "-",
+                str(job.dedup_count) if job.dedup_count else "-",
+            )
+        )
+    return rows
+
+
+def render_jobs(graph: JobGraph) -> str:
+    """The per-job status table for one planned (or executed) graph."""
+    rows = _rows(graph)
+    widths = [
+        max(len(_COLUMNS[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(_COLUMNS[column])
+        for column in range(len(_COLUMNS))
+    ]
+    lines = [
+        "  ".join(name.ljust(widths[i]) for i, name in enumerate(_COLUMNS)),
+        "  ".join("-" * widths[i] for i in range(len(_COLUMNS))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    failed = [job for job in graph.topo_order() if job.error]
+    if failed:
+        lines.append("")
+        for job in failed:
+            lines.append(f"!! {job.label}: {job.error}")
+    return "\n".join(lines)

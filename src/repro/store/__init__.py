@@ -27,6 +27,7 @@ from .store import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
     ArtifactStore,
+    ProbeTally,
     StoreCounters,
     StoreEntryError,
     StoreStats,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ArtifactStore",
     "KIND_TRACE",
+    "ProbeTally",
     "StoreCounters",
     "StoreEntryError",
     "StoreStats",

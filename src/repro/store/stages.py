@@ -326,6 +326,34 @@ def try_load_placement_pair(
     return profile, placement
 
 
+def try_load_placement(
+    store: ArtifactStore,
+    workload: str,
+    train_input: str,
+    config: CacheConfig | None,
+    place_heap: bool,
+    engine: str,
+    profiler_kwargs: dict | None = None,
+):
+    """The placement map alone, without decoding the profile, or None.
+
+    The profile entry is an order of magnitude larger than the placement
+    map; consumers that only need the map (the scheduler's CCDP measure
+    jobs) load it directly instead of paying for
+    :func:`try_load_placement_pair`'s profile decode.
+    """
+    fingerprint = known_fingerprint(store, workload, train_input)
+    if fingerprint is None:
+        return None
+    params = profile_params(profiler_kwargs)
+    return _load(
+        store,
+        KIND_PLACEMENT,
+        _placement_fields(fingerprint, config, place_heap, engine, params),
+        placement_from_dict,
+    )
+
+
 def try_load_measure(
     store: ArtifactStore,
     workload: str,
@@ -367,7 +395,37 @@ def checkpoint_coverage(
     resumes at simulation, not at re-profiling.  The CCDP measurement is
     keyed by the placement's content digest, so it is only probed when
     the placement entry itself is present.
+
+    The walk runs under :meth:`ArtifactStore.probing` and never commits:
+    diagnostic reads must not disturb the run's hit/miss accounting.
     """
+    with store.probing():
+        return _checkpoint_coverage(
+            store,
+            workload,
+            train_input,
+            test_input,
+            config,
+            place_heap,
+            engine,
+            profiler_kwargs,
+            classify,
+            track_pages,
+        )
+
+
+def _checkpoint_coverage(
+    store: ArtifactStore,
+    workload,
+    train_input: str,
+    test_input: str | None,
+    config: CacheConfig | None,
+    place_heap: bool | None,
+    engine: str,
+    profiler_kwargs: dict | None,
+    classify: bool,
+    track_pages: bool,
+) -> dict[str, bool]:
     name = getattr(workload, "name", workload)
     resolved_heap = place_heap
     if resolved_heap is None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -70,12 +71,45 @@ class StoreStats:
     trace_bytes: int = 0
 
 
+class ProbeTally:
+    """Scratch counters for one speculative warm-path probe.
+
+    A *probe* is a batch of lookups whose outcome is only meaningful as a
+    whole — e.g. :func:`repro.store.stages.try_load_experiment` reading
+    five entries where a single miss abandons the warm path.  Tallying
+    those lookups directly would double-count: the probe's misses are
+    followed by the real get-or-compute consultations of the fallback
+    path, and a failed probe's partial hits are re-read moments later.
+    Under :meth:`ArtifactStore.probing` every lookup lands here instead;
+    the caller calls :meth:`commit` only when the warm load succeeded,
+    which folds the hits (and corrupt tallies) into the store's real
+    counters exactly once.  Misses observed during a probe are never
+    committed — the fallback path's own lookups account for them.
+    """
+
+    def __init__(self, store: "ArtifactStore"):
+        self._store = store
+        self.hits = 0
+        self.misses = 0
+        self.committed = False
+
+    def commit(self) -> None:
+        """Fold the probe's hits into the store counters (idempotent)."""
+        if self.committed:
+            return
+        self.committed = True
+        self._store.counters.hits += self.hits
+        if self.hits:
+            obs.count("store.hit", self.hits)
+
+
 class ArtifactStore:
     """Content-addressed JSON artifact store rooted at one directory."""
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.counters = StoreCounters()
+        self._probes: list[ProbeTally] = []
 
     # -- paths ---------------------------------------------------------------
 
@@ -115,13 +149,18 @@ class ArtifactStore:
         try:
             payload = self._validate(raw, kind)
         except StoreEntryError:
+            # Corruption is counted immediately even inside a probe: the
+            # entry really was discarded, whatever the probe concludes.
             self.counters.corrupt += 1
             obs.count("store.corrupt")
             self._discard(path)
             self._miss()
             return None
-        self.counters.hits += 1
-        obs.count("store.hit")
+        if self._probes:
+            self._probes[-1].hits += 1
+        else:
+            self.counters.hits += 1
+            obs.count("store.hit")
         try:
             os.utime(path)  # LRU recency for gc
         except OSError:
@@ -149,8 +188,27 @@ class ArtifactStore:
         return payload
 
     def _miss(self) -> None:
+        if self._probes:
+            self._probes[-1].misses += 1
+            return
         self.counters.misses += 1
         obs.count("store.miss")
+
+    @contextmanager
+    def probing(self):
+        """Divert lookup tallies to a :class:`ProbeTally` for the block.
+
+        The yielded tally is the single source of truth for whether the
+        probe's lookups ever count: call :meth:`ProbeTally.commit` after
+        the block when (and only when) the warm load fully succeeded.
+        Probes nest; lookups land in the innermost active tally.
+        """
+        tally = ProbeTally(self)
+        self._probes.append(tally)
+        try:
+            yield tally
+        finally:
+            self._probes.pop()
 
     def _discard(self, path: Path) -> None:
         try:

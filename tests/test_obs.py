@@ -319,6 +319,26 @@ class TestRunReport:
         assert "place.phase6" in rendered
         assert "peak RSS" in rendered
 
+    def test_report_renders_scheduler_counters(self, toy_workload, small_cache):
+        registry = Telemetry()
+        with use(registry):
+            result = run_experiment(toy_workload, cache_config=small_cache)
+            registry.count("sched.dedup", 3)
+            registry.count("sched.pruned", 2)
+            registry.gauge("sched.critical_path_seconds", 1.25)
+        report = RunReport.from_experiment(result, registry)
+        rendered = report.render()
+        assert "scheduler: dedup=3 pruned=2 critical_path=1.25s" in rendered
+
+    def test_run_report_survives_a_fully_warm_store(self, tmp_path, small_cache):
+        from repro.store import ArtifactStore, use_store
+
+        with use_store(ArtifactStore(tmp_path)):
+            cold = run_report("espresso", cache_config=small_cache)
+            warm = run_report("espresso", cache_config=small_cache)
+        assert warm.to_dict()["trace"] == cold.to_dict()["trace"]
+        assert warm.to_dict()["simulation"] == cold.to_dict()["simulation"]
+
     def test_report_rejects_leaky_stats(self, toy_workload, small_cache):
         result = run_experiment(toy_workload, cache_config=small_cache)
         result.ccdp.cache.misses_by_category[Category.HEAP] += 1

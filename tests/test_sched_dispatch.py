@@ -1,0 +1,115 @@
+"""Longest-estimated-first dispatch: cost priors and fan-out order.
+
+One heavy shard dispatched last serializes a whole fan-out behind it.
+These tests pin the ordering contract at both layers: the cost priors
+rank programs/stages sensibly, and both coarse fan-out entry points
+(:func:`run_experiments`, :func:`run_placements`) hand their cold
+remainder to the dispatcher longest-estimated-first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import clear_cache
+from repro.runtime import parallel
+from repro.runtime.faults import FanoutReport
+from repro.runtime.parallel import ExperimentSpec, PlacementSpec
+from repro.sched import costs
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path, monkeypatch):
+    # Keep the priors static: benchmark history is read from the cwd.
+    monkeypatch.chdir(tmp_path)
+    costs.refresh_history()
+    clear_cache()
+    yield
+    costs.refresh_history()
+    clear_cache()
+
+
+class TestCostPriors:
+    def test_program_weights_rank_trace_length(self):
+        assert costs.program_weight("compress") > costs.program_weight(
+            "espresso"
+        ) > costs.program_weight("deltablue")
+
+    def test_unknown_program_gets_neutral_weight(self):
+        assert costs.program_weight("mystery") == pytest.approx(1.0)
+
+    def test_job_cost_scales_stage_by_program(self):
+        assert costs.job_cost("profile", "compress") > costs.job_cost(
+            "profile", "deltablue"
+        )
+        assert costs.job_cost("profile", "espresso") > costs.job_cost(
+            "place", "espresso"
+        )
+
+    def test_dispatch_order_puts_heaviest_first(self):
+        specs = [
+            ExperimentSpec(workload="deltablue"),
+            ExperimentSpec(workload="compress"),
+            ExperimentSpec(workload="espresso"),
+        ]
+        order = costs.dispatch_order(specs)
+        assert [specs[i].workload for i in order] == [
+            "compress",
+            "espresso",
+            "deltablue",
+        ]
+
+    def test_history_overrides_static_weights(self, tmp_path):
+        import json
+
+        (tmp_path / costs.PLACEMENT_HISTORY).write_text(
+            json.dumps(
+                {
+                    "arms": {
+                        "array": {
+                            "per_program_s": {
+                                "deltablue": 9.0,
+                                "compress": 0.3,
+                            }
+                        }
+                    }
+                }
+            )
+        )
+        costs.refresh_history()
+        assert costs.program_weight("deltablue") > costs.program_weight(
+            "compress"
+        )
+
+
+class TestFanoutOrder:
+    def _capture_map(self, monkeypatch):
+        captured = {}
+
+        def fake_map(items, labels, worker, inline, jobs=1, policy=None, **kw):
+            captured["labels"] = list(labels)
+            return [None] * len(items), FanoutReport(
+                total=len(items), completed=len(items)
+            )
+
+        monkeypatch.setattr(parallel, "_resilient_map", fake_map)
+        return captured
+
+    def test_run_experiments_dispatches_longest_first(self, monkeypatch):
+        captured = self._capture_map(monkeypatch)
+        specs = [
+            ExperimentSpec(workload="deltablue"),
+            ExperimentSpec(workload="compress"),
+            ExperimentSpec(workload="espresso"),
+        ]
+        parallel.run_experiments(specs, jobs=2)
+        assert captured["labels"] == ["compress", "espresso", "deltablue"]
+
+    def test_run_placements_dispatches_longest_first(self, monkeypatch):
+        captured = self._capture_map(monkeypatch)
+        specs = [
+            PlacementSpec(workload="espresso"),
+            PlacementSpec(workload="compress"),
+        ]
+        parallel.run_placements(specs, jobs=2)
+        assert captured["labels"] == ["compress", "espresso"]

@@ -1,0 +1,136 @@
+"""Job-graph construction: dedup, cycles, cancellation, warm pruning."""
+
+import pytest
+
+from repro.runtime.parallel import ExperimentSpec
+from repro.sched.graph import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    PRUNED,
+    GraphCycleError,
+    JobGraph,
+)
+from repro.sched.jobs import plan_experiments, probe_graph
+from repro.store import ArtifactStore, use_store
+
+
+def _spec(name, same_input):
+    return ExperimentSpec(workload=name, same_input=same_input)
+
+
+class TestDedup:
+    def test_table2_and_table4_share_training_stages(self):
+        graph, aggregates = plan_experiments(
+            [_spec("deltablue", True), _spec("deltablue", False)]
+        )
+        # Shared: the training trace, the profile, the placement.
+        counts = graph.counts()
+        assert counts["deduped"] == 3
+        kinds = sorted(job.kind for job in graph)
+        assert kinds.count("trace") == 2  # train + test, not three
+        assert kinds.count("profile") == 1
+        assert kinds.count("place") == 1
+        assert kinds.count("measure") == 4  # natural+ccdp per table
+        assert len(aggregates) == 2
+        # Both aggregates hang off the *same* place node.
+        places = {aggregates[0].meta["roles"]["place"].key,
+                  aggregates[1].meta["roles"]["place"].key}
+        assert len(places) == 1
+
+    def test_distinct_programs_share_nothing(self):
+        graph, _ = plan_experiments(
+            [_spec("deltablue", True), _spec("espresso", True)]
+        )
+        assert graph.counts()["deduped"] == 0
+
+    def test_kind_collision_rejected(self):
+        graph = JobGraph()
+        graph.add("trace", "k1", label="a")
+        with pytest.raises(ValueError, match="collision"):
+            graph.add("profile", "k1", label="b")
+
+
+class TestCycles:
+    def test_cycle_rejected(self):
+        graph = JobGraph()
+        a = graph.add("trace", "a", label="a")
+        b = graph.add("profile", "b", label="b", deps=[a])
+        # Close the loop by hand: a depends on b.
+        a.deps.append(b)
+        b.dependents.append(a)
+        with pytest.raises(GraphCycleError, match="a"):
+            graph.seal()
+
+    def test_acyclic_graph_orders_deps_first(self):
+        graph, _ = plan_experiments([_spec("deltablue", False)])
+        order = {job.key: position for position, job in enumerate(graph.topo_order())}
+        for job in graph:
+            for dep in job.deps:
+                assert order[dep.key] < order[job.key]
+
+
+class TestCancellation:
+    def test_failed_job_cancels_transitive_dependents(self):
+        graph, aggregates = plan_experiments([_spec("deltablue", False)])
+        trace_train = next(
+            job for job in graph if job.kind == "trace" and "chain-900" in job.label
+        )
+        cancelled = graph.mark_failed(trace_train, "boom")
+        assert trace_train.state == FAILED
+        labels = {job.label for job in cancelled}
+        assert any(label.startswith("profile:") for label in labels)
+        assert any(label.startswith("place:") for label in labels)
+        assert aggregates[0].state == CANCELLED
+        # The test-input trace and its natural measurement are unaffected.
+        natural = next(
+            job for job in graph if job.label.endswith("chain-1100:natural")
+        )
+        assert natural.state == PENDING
+
+    def test_done_dependents_stop_the_cancellation_wave(self):
+        graph = JobGraph()
+        a = graph.add("trace", "a", label="a")
+        b = graph.add("profile", "b", label="b", deps=[a])
+        c = graph.add("place", "c", label="c", deps=[b])
+        graph.mark_done(b)
+        graph.mark_failed(a, "late")
+        assert b.state == DONE
+        # c's only dependency already finished: it is still runnable.
+        assert c.state == PENDING
+        assert c.ready()
+
+
+class TestWarmPrune:
+    def test_empty_store_prunes_nothing(self, tmp_path):
+        graph, _ = plan_experiments([_spec("deltablue", True)])
+        store = ArtifactStore(tmp_path / "store")
+        with use_store(store):
+            pruned = probe_graph(store, graph)
+        assert pruned == 0
+        assert all(job.state == PENDING for job in graph)
+
+    def test_filled_store_prunes_every_stage_job(self, tmp_path):
+        from repro.experiments.common import clear_cache
+        from repro.sched.executor import run_experiments_dag
+
+        specs = [_spec("deltablue", True)]
+        store = ArtifactStore(tmp_path / "store")
+        with use_store(store):
+            run_experiments_dag(specs, jobs=1)
+        clear_cache()
+        graph, _ = plan_experiments(specs)
+        with use_store(ArtifactStore(tmp_path / "store")) as fresh:
+            pruned = probe_graph(fresh, graph)
+        stage_jobs = [job for job in graph if job.kind != "aggregate"]
+        assert pruned == len(stage_jobs)
+        assert all(job.state == PRUNED for job in stage_jobs)
+
+    def test_critical_path_ignores_pruned_jobs(self):
+        graph = JobGraph()
+        a = graph.add("trace", "a", label="a", cost=5.0)
+        b = graph.add("profile", "b", label="b", deps=[a], cost=2.0)
+        assert graph.critical_path_seconds() == pytest.approx(7.0)
+        graph.mark_pruned(a)
+        assert graph.critical_path_seconds() == pytest.approx(2.0)
