@@ -28,6 +28,12 @@ Commands mirror the paper's workflow:
 * ``report``   — run one workload's full pipeline under telemetry and
   emit a structured run report: span tree, counters, per-category miss
   attribution with conservation checks (``-o`` writes the JSON).
+* ``serve``    — run the placement-as-a-service daemon: an HTTP front
+  end over the same pipeline, with per-tenant stores, request
+  coalescing through the job graph, and backpressure
+  (``docs/SERVICE.md``).
+* ``submit``   — submit one job to a running ``serve`` daemon, wait for
+  it, and print or write the result.
 * ``cache``    — inspect or maintain the persistent artifact store
   (``stats`` / ``gc`` / ``clear``).
 
@@ -497,6 +503,78 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import Daemon, ServeConfig
+
+    daemon = Daemon(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            batch_max=args.batch_max,
+            drain_timeout=args.drain_timeout,
+            cache_dir=args.cache_dir,
+        )
+    )
+    daemon.run()
+    print(daemon.store.summary_line(), file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(
+        host=args.host, port=args.port, tenant=args.tenant, timeout=args.timeout
+    )
+    params: dict = {}
+    if args.kind != "sleep":
+        if not args.workload:
+            print("submit: --workload is required", file=sys.stderr)
+            return 2
+        params["workload"] = args.workload
+        if args.input:
+            params["input"] = args.input
+        if args.cache is not None:
+            params["cache"] = [
+                args.cache.size,
+                args.cache.line_size,
+                args.cache.associativity,
+            ]
+        if args.kind == "experiment":
+            params["same_input"] = args.same_input
+    try:
+        job_id = client.submit(args.kind, **params)
+        print(f"[submit] job {job_id} queued", file=sys.stderr)
+        record = client.result(job_id, timeout=args.timeout)
+    except (ServeError, TimeoutError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if record["state"] != "done":
+        print(f"job {record['job_id']} failed: {record.get('error')}",
+              file=sys.stderr)
+        return 1
+    result = record["result"]
+    # For placement jobs -o writes the bare placement map, byte-compatible
+    # with ``repro place`` output (load_placement reads either).
+    payload = (
+        result["placement"]
+        if args.kind == "placement" and args.output
+        else result
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        print(f"result -> {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_cache(args) -> int:
     store = ArtifactStore(resolve_cache_dir(args.cache_dir))
     if args.action == "stats":
@@ -764,6 +842,74 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_option(p_report)
     _add_store_options(p_report, default_on=True)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the placement-as-a-service daemon (see docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8750,
+        help="listen port; 0 picks a free one (default 8750)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="job-graph worker processes per batch (default 1)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="bounded request queue; past it submits get 429 (default 32)",
+    )
+    p_serve.add_argument(
+        "--batch-max", type=int, default=8,
+        help="max jobs coalesced into one dispatcher batch (default 8)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to finish queued jobs on shutdown (default 30)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="store root the daemon serves from "
+             "(default: $REPRO_CACHE_DIR, then .repro-cache)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running serve daemon and wait"
+    )
+    p_submit.add_argument(
+        "--kind", default="placement",
+        choices=["experiment", "placement", "profile", "stats"],
+    )
+    p_submit.add_argument("--workload", default=None)
+    p_submit.add_argument("--input", default=None)
+    p_submit.add_argument(
+        "--same-input", action="store_true",
+        help="experiment jobs: measure the training input",
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8750)
+    p_submit.add_argument(
+        "--tenant", default=None, help="store namespace (X-Repro-Tenant)"
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait for the job to finish (default 300)",
+    )
+    p_submit.add_argument(
+        "-o", "--output", default=None,
+        help="write the result JSON here (placement jobs write the bare "
+             "placement map, same format as `repro place`)",
+    )
+    p_submit.add_argument(
+        "--cache",
+        type=_parse_cache,
+        default=None,
+        help="cache geometry as SIZE:LINE:ASSOC (default: the paper's "
+             "8192:32:1, chosen by the daemon)",
+    )
+
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain the persistent artifact store"
     )
@@ -803,6 +949,8 @@ _COMMANDS = {
     "jobs": cmd_jobs,
     "bench": cmd_bench,
     "report": cmd_report,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "cache": cmd_cache,
 }
 

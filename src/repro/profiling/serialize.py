@@ -182,8 +182,15 @@ def placement_from_dict(data: dict) -> PlacementMap:
 
 
 def save_placement(placement: PlacementMap, path: str | Path) -> None:
-    """Write a placement map to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(placement_to_dict(placement)))
+    """Write a placement map to ``path`` as canonical JSON.
+
+    Canonical means sorted keys and a trailing newline — the same bytes
+    ``repro submit --kind placement -o`` writes, so a served placement
+    and a batch one diff clean when they agree.
+    """
+    Path(path).write_text(
+        json.dumps(placement_to_dict(placement), sort_keys=True) + "\n"
+    )
 
 
 def load_placement(path: str | Path) -> PlacementMap:

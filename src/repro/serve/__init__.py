@@ -1,0 +1,30 @@
+"""Placement-as-a-service: the long-running ``repro serve`` daemon.
+
+The batch CLI runs one command and exits; this package turns the same
+pipeline into a concurrent network service.  A stdlib-only ``asyncio``
+HTTP/1.1 front end accepts trace uploads and job submissions from many
+clients, a single dispatcher thread drains the bounded request queue in
+batches, and each batch is planned through the job-graph scheduler
+(:mod:`repro.sched`) against a per-tenant artifact store — so identical
+requests from concurrent clients collapse onto shared stages and warm
+artifacts are served without recomputation.
+
+Modules:
+
+* :mod:`~repro.serve.protocol` — minimal HTTP/1.1 framing (requests,
+  JSON responses, the binary trace-upload envelope).
+* :mod:`~repro.serve.jobs` — job records, request validation, and the
+  per-tenant batch executors.
+* :mod:`~repro.serve.daemon` — the :class:`~repro.serve.daemon.Daemon`:
+  listener, routes, queueing/backpressure, graceful drain, trace pins.
+* :mod:`~repro.serve.client` — a small blocking client
+  (:class:`~repro.serve.client.ServeClient`) used by ``repro submit``
+  and the test suites.
+
+See ``docs/SERVICE.md`` for the wire protocol and an ops runbook.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import Daemon, ServeConfig
+
+__all__ = ["Daemon", "ServeClient", "ServeConfig", "ServeError"]

@@ -1,0 +1,168 @@
+"""Blocking client for the serve daemon (stdlib ``http.client``).
+
+Used by the ``repro submit`` CLI verb and by the serve test suites; it
+deliberately opens one connection per request so a misbehaving daemon
+can never wedge a client between calls, and so N threads can share one
+:class:`ServeClient` instance safely.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import quote
+
+from . import protocol
+
+
+class ServeError(Exception):
+    """The daemon refused a request (carries status + server message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Synchronous client for one daemon endpoint.
+
+    Args:
+        host/port: Where the daemon listens.
+        tenant: Optional store namespace, sent as ``X-Repro-Tenant``.
+        timeout: Socket timeout per request, seconds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8750,
+        tenant: str | None = None,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, dict]:
+        """One round-trip; returns ``(status, decoded JSON payload)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if self.tenant:
+                headers["X-Repro-Tenant"] = self.tenant
+            if body is not None:
+                headers["Content-Type"] = content_type
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode("utf-8", errors="replace")}
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+        return response.status, payload
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        ok: tuple[int, ...] = (200,),
+        content_type: str = "application/json",
+    ) -> dict:
+        status, payload = self.request(
+            method, path, body=body, content_type=content_type
+        )
+        if status not in ok:
+            raise ServeError(status, str(payload.get("error", payload)))
+        return payload
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _payload = self.request("GET", "/readyz")
+        return status == 200
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    def submit(self, kind: str, **params) -> str:
+        """Submit one job; returns its id.  429/400/503 raise ServeError."""
+        body = json.dumps({"kind": kind, **params}).encode("utf-8")
+        payload = self._checked("POST", "/v1/jobs", body=body, ok=(202,))
+        return payload["job_id"]
+
+    def try_submit(self, payload: dict) -> tuple[int, dict]:
+        """Unchecked submit — the backpressure tests read the raw status."""
+        return self.request(
+            "POST", "/v1/jobs", body=json.dumps(payload).encode("utf-8")
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._checked("GET", "/v1/jobs")["jobs"]
+
+    def result(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the record.
+
+        The returned record's ``state`` is ``done`` or ``failed`` — a
+        failed job is an answer, not an exception, because the protocol
+        suite asserts on failure surfaces.  Raises :class:`TimeoutError`
+        if the job is still pending at the deadline.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self.request("GET", f"/v1/jobs/{job_id}/result")
+            if status == 200:
+                return payload
+            if status != 202:
+                raise ServeError(status, str(payload.get("error", payload)))
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload.get('state')!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def run(self, kind: str, timeout: float = 300.0, **params) -> dict:
+        """Submit + poll in one call; returns the terminal job record."""
+        return self.result(self.submit(kind, **params), timeout=timeout)
+
+    def upload_trace(self, workload: str, input_name: str, trace) -> dict:
+        """Pack and upload one sealed trace recorder."""
+        body = protocol.pack_trace_upload(trace)
+        path = (
+            f"/v1/traces?workload={quote(workload)}&input={quote(input_name)}"
+        )
+        return self._checked(
+            "POST",
+            path,
+            body=body,
+            content_type="application/octet-stream",
+        )
+
+    def shutdown(self) -> dict:
+        return self._checked("POST", "/v1/admin/shutdown", ok=(202,))

@@ -293,6 +293,30 @@ def try_load_workload_stats(
     )
 
 
+def has_profile(
+    store: ArtifactStore,
+    workload: str,
+    input_name: str,
+    config: CacheConfig | None,
+    profiler_kwargs: dict | None = None,
+) -> bool:
+    """Whether a decodable profile entry exists for this recipe.
+
+    A pure probe: lookups are tallied only if the entry is present, so a
+    cold check does not inflate the miss counters ahead of the real
+    get-or-compute consultation that follows.
+    """
+    with store.probing() as probe:
+        fingerprint = known_fingerprint(store, workload, input_name)
+        if fingerprint is None:
+            return False
+        fields = _profile_fields(fingerprint, config, profile_params(profiler_kwargs))
+        present = store.get(KIND_PROFILE, store.key(KIND_PROFILE, fields)) is not None
+    if present:
+        probe.commit()
+    return present
+
+
 def try_load_placement_pair(
     store: ArtifactStore,
     workload: str,

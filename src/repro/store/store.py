@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -109,7 +110,17 @@ class ArtifactStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.counters = StoreCounters()
-        self._probes: list[ProbeTally] = []
+        # Probe stacks are per-thread: the serve daemon's request thread
+        # validates (probing) while its dispatcher thread executes, and a
+        # shared stack would misfile lookups across threads.
+        self._probe_local = threading.local()
+
+    @property
+    def _probes(self) -> list["ProbeTally"]:
+        stack = getattr(self._probe_local, "stack", None)
+        if stack is None:
+            stack = self._probe_local.stack = []
+        return stack
 
     # -- paths ---------------------------------------------------------------
 
@@ -320,6 +331,92 @@ class ArtifactStore:
             )
         return summary
 
+    # -- in-use pins ---------------------------------------------------------
+
+    @property
+    def pins_dir(self) -> Path:
+        """Root of the in-use pin files (``<root>/pins/``)."""
+        return self.root / "pins"
+
+    def _pin_path(self, fingerprint: str) -> Path:
+        return self.pins_dir / f"{fingerprint}.{os.getpid()}.pin"
+
+    def pin_trace(self, fingerprint: str) -> None:
+        """Mark a trace fingerprint as in use by this process.
+
+        A long-running daemon holds attached traces as read-only memory
+        maps; a concurrent ``repro cache gc`` (another process, same
+        store root) must not collect them.  Pins are pid-stamped files
+        under ``pins/`` so they are visible across processes and a
+        crashed pinner leaves only stale pins, which
+        :meth:`pinned_fingerprints` detects (dead pid) and sweeps.
+        """
+        path = self._pin_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            path.write_text(f"{os.getpid()}\n")
+        except OSError:
+            return
+        obs.count("store.pin")
+
+    def unpin_trace(self, fingerprint: str) -> None:
+        """Drop this process's pin on ``fingerprint`` (idempotent)."""
+        self._discard(self._pin_path(fingerprint))
+
+    def release_pins(self) -> int:
+        """Remove every pin held by this process; returns the count."""
+        removed = 0
+        if self.pins_dir.is_dir():
+            for path in self.pins_dir.glob(f"*.{os.getpid()}.pin"):
+                self._discard(path)
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OSError):
+            return True
+        return True
+
+    def pinned_fingerprints(self) -> set[str]:
+        """Fingerprints pinned by live processes.
+
+        Stale pins — files whose stamped pid no longer exists — are
+        deleted on the way through, so a crashed daemon cannot protect
+        artifacts forever.
+        """
+        pinned: set[str] = set()
+        if not self.pins_dir.is_dir():
+            return pinned
+        for path in self.pins_dir.glob("*.pin"):
+            fingerprint, _dot, pid_text = path.name[: -len(".pin")].rpartition(".")
+            try:
+                pid = int(pid_text)
+            except ValueError:
+                self._discard(path)
+                continue
+            if not fingerprint or not self._pid_alive(pid):
+                self._discard(path)
+                continue
+            pinned.add(fingerprint)
+        return pinned
+
+    @staticmethod
+    def _entry_fingerprint(path: Path) -> str | None:
+        """The trace fingerprint an entry references, if it is trace-like."""
+        if path.parent.parent.name not in ("trace", "trace-meta"):
+            return None
+        try:
+            with open(path) as handle:
+                payload = json.load(handle).get("payload")
+            return payload["fingerprint"]
+        except (OSError, json.JSONDecodeError, TypeError, KeyError):
+            return None
+
     def gc(
         self, max_bytes: int | None = None, max_age_days: float | None = None
     ) -> tuple[int, int]:
@@ -329,9 +426,16 @@ class ArtifactStore:
         (or unreadable ones) always go; entries older than
         ``max_age_days`` go next; then oldest-first eviction until the
         store fits ``max_bytes``.
+
+        Trace artifacts pinned by a live process (:meth:`pin_trace`) are
+        exempt from the age and byte-pressure passes — a daemon holding
+        an attached trace keeps its fingerprint loadable.  Stale-salt
+        eviction still wins: an entry from another code version is
+        unreadable by definition, pinned or not.
         """
         salt = code_salt()
         now = time.time()
+        pinned = self.pinned_fingerprints()
         removed = removed_bytes = 0
         survivors: list[tuple[float, int, Path]] = []
         for path in self._entries():
@@ -342,13 +446,20 @@ class ArtifactStore:
             except (OSError, json.JSONDecodeError):
                 stale = True
                 stat = None
+            protected = (
+                not stale
+                and pinned
+                and self._entry_fingerprint(path) in pinned
+            )
             age_days = (now - stat.st_mtime) / 86400.0 if stat else 0.0
-            if stale or (max_age_days is not None and age_days > max_age_days):
+            expired = max_age_days is not None and age_days > max_age_days
+            if stale or (expired and not protected):
                 removed += 1
                 removed_bytes += stat.st_size if stat else 0
                 self._discard(path)
                 continue
-            survivors.append((stat.st_mtime, stat.st_size, path))
+            if not protected:
+                survivors.append((stat.st_mtime, stat.st_size, path))
         if max_bytes is not None:
             total = sum(size for _mtime, size, _path in survivors)
             for _mtime, size, path in sorted(survivors):
@@ -358,17 +469,18 @@ class ArtifactStore:
                 total -= size
                 removed += 1
                 removed_bytes += size
-        trace_removed, trace_bytes = self._gc_trace_files()
+        trace_removed, trace_bytes = self._gc_trace_files(pinned)
         return removed + trace_removed, removed_bytes + trace_bytes
 
-    def _gc_trace_files(self) -> tuple[int, int]:
+    def _gc_trace_files(self, pinned: set[str] | None = None) -> tuple[int, int]:
         """Drop trace data files no surviving ``trace`` entry references.
 
         Runs after the entry passes, so evicting a ``trace`` entry (stale
         salt, age, or byte pressure) automatically reclaims its — much
-        larger — column file on the same gc.
+        larger — column file on the same gc.  Pinned fingerprints count
+        as referenced even without a surviving entry.
         """
-        referenced: set[str] = set()
+        referenced: set[str] = set(pinned or ())
         trace_entries = self.objects_dir / "trace"
         if trace_entries.is_dir():
             for path in trace_entries.rglob("*.json"):

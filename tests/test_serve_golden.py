@@ -1,0 +1,161 @@
+"""Golden pins for the serve daemon's wire format.
+
+Mirrors :mod:`test_golden_tables`: the JSON fixtures under
+``tests/goldens/serve_*.json`` pin the *schemas* of the daemon's
+responses — key sets and value types, not volatile values — so a field
+rename, a type drift, or a dropped counter breaks loudly here instead of
+in someone's dashboard.  Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_serve_golden.py --update-goldens
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import ToyWorkload
+
+from repro.serve import Daemon, ServeClient, ServeConfig
+from repro.trace.buffer import record_trace
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _shape(value):
+    """Collapse a JSON payload to its schema: keys kept, values typed."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "null"
+    if isinstance(value, dict):
+        return {key: _shape(item) for key, item in sorted(value.items())}
+    if isinstance(value, list):
+        shapes = []
+        for item in value:
+            shape = _shape(item)
+            if shape not in shapes:
+                shapes.append(shape)
+        return shapes
+    return type(value).__name__
+
+
+def _check_against_golden(request, name: str, snapshot) -> None:
+    """Compare ``snapshot`` to the fixture, or rewrite it under the flag."""
+    path = GOLDEN_DIR / f"{name}.json"
+    normalized = json.loads(json.dumps(snapshot))
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(normalized, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"rewrote golden {path.name}")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; run with --update-goldens to create it"
+        )
+    golden = json.loads(path.read_text())
+    assert normalized == golden, (
+        f"{name} drifted from its golden pin; if the change is intentional, "
+        f"regenerate with --update-goldens and review the fixture diff"
+    )
+
+
+@pytest.fixture(scope="module")
+def exchange(tmp_path_factory):
+    """One scripted daemon session; every golden reads from its payloads.
+
+    The sequence is fixed (upload → submit → poll → inspect) so the
+    response *schemas* — including the telemetry counter key set — are
+    deterministic even though ids, timestamps, and tallies are not.
+    """
+    root = tmp_path_factory.mktemp("serve-golden")
+    daemon = Daemon(
+        ServeConfig(cache_dir=str(root / "store"), announce=False)
+    ).start()
+    payloads: dict[str, dict] = {}
+    try:
+        client = ServeClient(port=daemon.port)
+        payloads["health"] = client.health()
+        trace = record_trace(ToyWorkload(), "train")
+        try:
+            payloads["upload"] = client.upload_trace("toyprog", "train", trace)
+        finally:
+            trace.close()
+        status, submit = client.try_submit(
+            {
+                "kind": "placement",
+                "workload": "toyprog",
+                "input": "train",
+                "cache": [1024, 32, 1],
+                "place_heap": True,
+            }
+        )
+        assert status == 202, submit
+        payloads["submit"] = submit
+        payloads["result"] = client.result(submit["job_id"], timeout=120.0)
+        assert payloads["result"]["state"] == "done"
+        payloads["record"] = client.status(submit["job_id"])
+        # The dispatcher bumps its batch counter just after the record
+        # turns terminal; wait for it so the counter key set is stable.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not daemon.telemetry.counters.get(
+            "serve.batches"
+        ):
+            time.sleep(0.02)
+        payloads["metrics"] = client.metrics()
+        yield payloads
+    finally:
+        daemon.stop()
+
+
+def test_health_payload_matches_golden(request, exchange):
+    _check_against_golden(request, "serve_health", exchange["health"])
+
+
+def test_upload_schema_matches_golden(request, exchange):
+    _check_against_golden(request, "serve_upload", _shape(exchange["upload"]))
+
+
+def test_submit_schema_matches_golden(request, exchange):
+    _check_against_golden(request, "serve_submit", _shape(exchange["submit"]))
+
+
+def test_job_record_schema_matches_golden(request, exchange):
+    _check_against_golden(
+        request, "serve_job_record", _shape(exchange["record"])
+    )
+
+
+def test_placement_result_schema_matches_golden(request, exchange):
+    _check_against_golden(
+        request, "serve_result_placement", _shape(exchange["result"])
+    )
+
+
+def test_metrics_schema_matches_golden(request, exchange):
+    metrics = exchange["metrics"]
+    telemetry = metrics["telemetry"]
+    snapshot = {
+        "state": metrics["state"],
+        "queue": _shape(metrics["queue"]),
+        "jobs": _shape(metrics["jobs"]),
+        "tenants": metrics["tenants"],
+        "telemetry": {
+            # Counter/gauge *names* are the contract; values and span
+            # trees vary run to run and stay unpinned.
+            "counters": sorted(telemetry["counters"]),
+            "gauges": sorted(telemetry["gauges"]),
+            "spans": "unpinned",
+        },
+    }
+    _check_against_golden(request, "serve_metrics", snapshot)

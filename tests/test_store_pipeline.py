@@ -128,3 +128,63 @@ class TestWarmFanOut:
             warm = run_placements(specs, jobs=1)
         assert warm_store.counters.misses == 0
         assert placement_to_dict(cold[0]) == placement_to_dict(warm[0])
+
+
+class TestGcPins:
+    """``repro cache gc`` must not collect fingerprints a live daemon pinned."""
+
+    def _seed_trace(self, store):
+        from repro.store import remember_and_save
+        from repro.trace.buffer import record_trace
+
+        workload = make_workload("compress")
+        trace = record_trace(workload, "smalltest")
+        return remember_and_save(store, "compress", "smalltest", trace)
+
+    def test_gc_spares_pinned_trace(self, tmp_path):
+        from repro.store import load_trace_by_fingerprint, trace_data_path
+
+        store = ArtifactStore(tmp_path / "store")
+        fingerprint = self._seed_trace(store)
+        store.pin_trace(fingerprint)
+        # Aggressive gc from a *second* store handle (as `repro cache gc`
+        # in another process would open): age and byte pressure together
+        # would normally evict everything.
+        gc_store = ArtifactStore(tmp_path / "store")
+        gc_store.gc(max_bytes=0, max_age_days=0.0)
+        assert load_trace_by_fingerprint(store, fingerprint) is not None
+        assert trace_data_path(store, fingerprint).exists()
+
+    def test_gc_collects_after_unpin(self, tmp_path):
+        from repro.store import trace_data_path
+
+        store = ArtifactStore(tmp_path / "store")
+        fingerprint = self._seed_trace(store)
+        store.pin_trace(fingerprint)
+        store.unpin_trace(fingerprint)
+        store.gc(max_bytes=0, max_age_days=0.0)
+        assert not trace_data_path(store, fingerprint).exists()
+
+    def test_stale_pin_from_dead_pid_is_swept(self, tmp_path):
+        from repro.store import trace_data_path
+
+        store = ArtifactStore(tmp_path / "store")
+        fingerprint = self._seed_trace(store)
+        # Forge a pin from a pid that cannot be alive.
+        store.pins_dir.mkdir(parents=True, exist_ok=True)
+        dead = store.pins_dir / f"{fingerprint}.999999999.pin"
+        dead.write_text("999999999\n")
+        assert store.pinned_fingerprints() == set()
+        assert not dead.exists()
+        store.gc(max_bytes=0, max_age_days=0.0)
+        assert not trace_data_path(store, fingerprint).exists()
+
+    def test_release_pins_drops_only_this_process(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        fingerprint = self._seed_trace(store)
+        store.pin_trace(fingerprint)
+        foreign = store.pins_dir / f"{fingerprint}.1.pin"
+        foreign.write_text("1\n")  # pid 1 is always alive
+        assert store.release_pins() == 1
+        assert foreign.exists()
+        assert store.pinned_fingerprints() == {fingerprint}
