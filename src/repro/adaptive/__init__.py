@@ -1,0 +1,37 @@
+"""Streaming adaptive CCDP: windowed TRGs, drift detection, re-placement.
+
+The static pipeline (:mod:`repro.core`) profiles a whole run and places
+once; this package watches a trace in windows, keeps a sliding-window TRG
+alive through :meth:`~repro.core.cache_struct.TRGIndex.apply_edge_deltas`,
+and re-places incrementally when the live placement's predicted conflict
+cost drifts (:func:`~repro.adaptive.replace.delta_replace`).  See
+``docs/ADAPTIVE.md`` for the model and knobs.
+"""
+
+from .engine import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DEFAULT_HISTORY,
+    DEFAULT_MIN_DRIFT_SCORE,
+    DEFAULT_WINDOW_EVENTS,
+    AdaptiveResult,
+    WindowRecord,
+    run_adaptive,
+)
+from .replace import ReplaceResult, delta_replace
+from .windows import WindowAggregator, build_entity_map, window_profile, window_trg
+
+__all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DEFAULT_HISTORY",
+    "DEFAULT_MIN_DRIFT_SCORE",
+    "DEFAULT_WINDOW_EVENTS",
+    "AdaptiveResult",
+    "ReplaceResult",
+    "WindowAggregator",
+    "WindowRecord",
+    "build_entity_map",
+    "delta_replace",
+    "run_adaptive",
+    "window_profile",
+    "window_trg",
+]

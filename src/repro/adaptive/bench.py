@@ -1,0 +1,224 @@
+"""The adaptive-placement benchmark behind ``repro bench --adaptive``.
+
+Sweeps re-placement cadence x window size over the moving-hot-set
+scenarios (:mod:`repro.workloads.drift`) and reports, per grid cell,
+the adaptive miss rate against two baselines measured on the *same*
+trace:
+
+* **static** — train on the first window, keep that placement forever
+  (``policy="never"``; exactly what the offline pipeline would do with
+  profiling truncated at the window boundary);
+* **oracle** — re-place at every drift check (``policy="always"``), the
+  upper bound on re-placement effort.
+
+The stationary control runs last: a correct drift detector must trigger
+zero re-placements there and reproduce the static run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from ..trace.buffer import record_trace
+from ..workloads.drift import drift_workload
+from .engine import run_adaptive
+
+ADAPTIVE_OUTPUT = "BENCH_adaptive.json"
+
+#: Scenarios swept over the cadence x window grid.
+GRID_SCENARIOS = ("phase-change", "drifting")
+#: Sliding-window depth used throughout the sweep: track only the most
+#: recent window, the fastest-responding detector configuration.
+BENCH_HISTORY = 1
+
+_FULL_WINDOWS = (512, 1024, 2048)
+_FULL_CADENCES = (1, 2)
+_FULL_ITERATIONS = 4000
+_QUICK_WINDOWS = (512, 1024)
+_QUICK_CADENCES = (1,)
+# Quick mode trims the grid, not the run length: shorter runs shrink the
+# drifting scenario's phases below a detectable window.
+_QUICK_ITERATIONS = _FULL_ITERATIONS
+
+
+def run_adaptive_bench(
+    quick: bool = False,
+    output: str | None = ADAPTIVE_OUTPUT,
+    window_sizes: tuple[int, ...] | None = None,
+    cadences: tuple[int, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Miss rate vs cadence x window size, with static and oracle arms.
+
+    Returns the result dict (also written to ``output`` unless None).
+    """
+    say = progress or (lambda _message: None)
+    windows = window_sizes or (_QUICK_WINDOWS if quick else _FULL_WINDOWS)
+    cadences = cadences or (_QUICK_CADENCES if quick else _FULL_CADENCES)
+    iterations = _QUICK_ITERATIONS if quick else _FULL_ITERATIONS
+
+    scenarios: dict[str, dict[str, object]] = {}
+    beats_static = True
+    config = None
+    for name in GRID_SCENARIOS:
+        workload = drift_workload(name, iterations=iterations)
+        trace = record_trace(workload, "test")
+        say(f"adaptive bench: {name} ({trace.events} events)...")
+        static: dict[str, dict[str, object]] = {}
+        grid: list[dict[str, object]] = []
+        for window_events in windows:
+            never = run_adaptive(
+                trace,
+                config,
+                place_heap=workload.place_heap,
+                policy="never",
+                window_events=window_events,
+                history=BENCH_HISTORY,
+            )
+            static[str(window_events)] = {
+                "miss_rate": never.miss_rate,
+                "misses": never.stats.misses,
+            }
+            for cadence in cadences:
+                adaptive = run_adaptive(
+                    trace,
+                    config,
+                    place_heap=workload.place_heap,
+                    window_events=window_events,
+                    cadence=cadence,
+                    history=BENCH_HISTORY,
+                )
+                oracle = run_adaptive(
+                    trace,
+                    config,
+                    place_heap=workload.place_heap,
+                    policy="always",
+                    window_events=window_events,
+                    cadence=cadence,
+                    history=BENCH_HISTORY,
+                )
+                say(
+                    f"  w={window_events} c={cadence}: "
+                    f"static {never.miss_rate:.2f}% "
+                    f"adaptive {adaptive.miss_rate:.2f}% "
+                    f"({adaptive.replacements} repl) "
+                    f"oracle {oracle.miss_rate:.2f}%"
+                )
+                grid.append(
+                    {
+                        "window_events": window_events,
+                        "cadence": cadence,
+                        "miss_rate": adaptive.miss_rate,
+                        "misses": adaptive.stats.misses,
+                        "replacements": adaptive.replacements,
+                        "dirty_refits": adaptive.dirty_refits,
+                        "index_inplace_updates": adaptive.index_inplace_updates,
+                        "index_rebuilds": adaptive.index_rebuilds,
+                        "static_miss_rate": never.miss_rate,
+                        "oracle_miss_rate": oracle.miss_rate,
+                        "oracle_replacements": oracle.replacements,
+                    }
+                )
+        best_adaptive = min(cell["miss_rate"] for cell in grid)
+        best_static = min(arm["miss_rate"] for arm in static.values())
+        scenario_ok = best_adaptive < best_static
+        beats_static = beats_static and scenario_ok
+        scenarios[name] = {
+            "iterations": iterations,
+            "events": trace.events,
+            "static": static,
+            "grid": grid,
+            "best_adaptive_miss_rate": best_adaptive,
+            "best_static_miss_rate": best_static,
+            "adaptive_beats_static": scenario_ok,
+        }
+
+    say("adaptive bench: stationary control...")
+    control = drift_workload("stationary", iterations=iterations)
+    trace = record_trace(control, "test")
+    control_window = max(windows)
+    never = run_adaptive(
+        trace,
+        config,
+        place_heap=control.place_heap,
+        policy="never",
+        window_events=control_window,
+        history=BENCH_HISTORY,
+    )
+    drift = run_adaptive(
+        trace,
+        config,
+        place_heap=control.place_heap,
+        window_events=control_window,
+        history=BENCH_HISTORY,
+    )
+    stationary_identical = (
+        drift.stats.misses == never.stats.misses
+        and drift.stats.accesses == never.stats.accesses
+        and drift.final_placement == drift.initial_placement
+    )
+    stationary = {
+        "window_events": control_window,
+        "events": trace.events,
+        "miss_rate": drift.miss_rate,
+        "static_miss_rate": never.miss_rate,
+        "replacements": drift.replacements,
+        "identical": stationary_identical,
+    }
+
+    result: dict[str, object] = {
+        "quick": quick,
+        "history": BENCH_HISTORY,
+        "window_sizes": list(windows),
+        "cadences": list(cadences),
+        "scenarios": scenarios,
+        "stationary": stationary,
+        "adaptive_beats_static": beats_static,
+        "stationary_zero_replacements": drift.replacements == 0,
+        "stationary_identical": stationary_identical,
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+        result["output"] = output
+    return result
+
+
+def render_adaptive_bench(result: dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_adaptive_bench` result."""
+    lines = [
+        f"adaptive sweep (history={result['history']}, "
+        f"windows={result['window_sizes']}, cadences={result['cadences']}):"
+    ]
+    for name, scenario in result["scenarios"].items():
+        lines.append(f"  {name} ({scenario['events']} events):")
+        for cell in scenario["grid"]:
+            lines.append(
+                f"    w={cell['window_events']:<5} c={cell['cadence']}"
+                f"  static {cell['static_miss_rate']:6.2f}%"
+                f"  adaptive {cell['miss_rate']:6.2f}%"
+                f" ({cell['replacements']} repl)"
+                f"  oracle {cell['oracle_miss_rate']:6.2f}%"
+                f" ({cell['oracle_replacements']} repl)"
+            )
+        verdict = "beats" if scenario["adaptive_beats_static"] else "LOSES TO"
+        lines.append(
+            f"    best adaptive {scenario['best_adaptive_miss_rate']:.2f}% "
+            f"{verdict} best static {scenario['best_static_miss_rate']:.2f}%"
+        )
+    stationary = result["stationary"]
+    lines.append(
+        f"  stationary: {stationary['replacements']} replacements, "
+        f"{'bit-identical to static' if stationary['identical'] else 'DIVERGED'}"
+        f" ({stationary['miss_rate']:.2f}%)"
+    )
+    lines.append(
+        "  ok: "
+        f"beats_static={result['adaptive_beats_static']} "
+        f"stationary_zero={result['stationary_zero_replacements']} "
+        f"stationary_identical={result['stationary_identical']}"
+    )
+    if "output" in result:
+        lines.append(f"wrote {result['output']}")
+    return "\n".join(lines)

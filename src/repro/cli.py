@@ -472,6 +472,25 @@ def cmd_bench(args) -> int:
         )
         print(render_placement_bench(result))
         return 0
+    if args.adaptive:
+        from .adaptive.bench import (
+            ADAPTIVE_OUTPUT,
+            render_adaptive_bench,
+            run_adaptive_bench,
+        )
+
+        result = run_adaptive_bench(
+            quick=args.quick,
+            output=args.output or ADAPTIVE_OUTPUT,
+            progress=print,
+        )
+        print(render_adaptive_bench(result))
+        ok = (
+            result["adaptive_beats_static"]
+            and result["stationary_zero_replacements"]
+            and result["stationary_identical"]
+        )
+        return 0 if ok else 1
     result = run_bench(
         quick=args.quick,
         jobs=args.jobs,
@@ -479,6 +498,59 @@ def cmd_bench(args) -> int:
         progress=print,
     )
     print(render_bench(result))
+    return 0
+
+
+def cmd_adapt(args) -> int:
+    from .adaptive import run_adaptive
+    from .trace.buffer import record_trace
+    from .workloads.drift import DRIFT_WORKLOADS, drift_workload
+
+    if args.workload in DRIFT_WORKLOADS:
+        workload = drift_workload(args.workload)
+    else:
+        workload = make_workload(args.workload)
+    input_name = args.input or (
+        "test" if "test" in workload.inputs else workload.train_input
+    )
+    trace = record_trace(workload, input_name)
+    result = run_adaptive(
+        trace,
+        args.cache,
+        place_heap=workload.place_heap,
+        window_events=args.window,
+        cadence=args.cadence,
+        history=args.history,
+        drift_threshold=args.threshold,
+        policy=args.policy,
+    )
+    print(f"{workload.name} / {input_name}: {trace.events} events")
+    for record in result.windows:
+        score = (
+            f"{record.drift_score:.4f}" if record.drift_score is not None else "-"
+        )
+        marker = "  <- re-placed" if record.replaced else ""
+        print(
+            f"  window {record.index:>3} [{record.start}:{record.end}] "
+            f"miss {record.miss_rate:6.2f}%  drift {score}{marker}"
+        )
+    final_score = next(
+        (
+            record.drift_score
+            for record in reversed(result.windows)
+            if record.drift_score is not None
+        ),
+        0.0,
+    )
+    print(
+        f"[adapt] workload={workload.name} input={input_name} "
+        f"policy={result.policy} windows={len(result.windows)} "
+        f"replacements={result.replacements} "
+        f"miss_rate={result.miss_rate:.3f} "
+        f"drift_score={final_score:.4f} "
+        f"inplace_updates={result.index_inplace_updates} "
+        f"rebuilds={result.index_rebuilds}"
+    )
     return 0
 
 
@@ -614,6 +686,7 @@ _STORE_COMMANDS = {
     "jobs": True,
     "report": True,
     "bench": False,
+    "adapt": True,
 }
 
 
@@ -815,11 +888,55 @@ def build_parser() -> argparse.ArgumentParser:
              "(heap, shm, mmap; default: all at 1x, mmap at larger scales)",
     )
     p_bench.add_argument(
+        "--adaptive", action="store_true",
+        help="benchmark adaptive re-placement (miss rate vs cadence x "
+             "window size, static + oracle baselines) "
+             "and write BENCH_adaptive.json",
+    )
+    p_bench.add_argument(
         "-o", "--output", default=None,
         help="where to write the JSON report (default BENCH_pipeline.json, "
              "or BENCH_placement.json with --placement)",
     )
     _add_store_options(p_bench, default_on=False)
+
+    from .workloads.drift import drift_workload_names
+
+    p_adapt = sub.add_parser(
+        "adapt",
+        help="stream a workload through the adaptive placement engine",
+    )
+    p_adapt.add_argument(
+        "workload", choices=drift_workload_names() + workload_names(),
+        help="a drift scenario (phase-change, drifting, stationary) "
+             "or any benchmark workload",
+    )
+    p_adapt.add_argument(
+        "--input", help="input name (default: test input when available)"
+    )
+    p_adapt.add_argument(
+        "--window", type=int, default=1024,
+        help="events per window (default 1024)",
+    )
+    p_adapt.add_argument(
+        "--cadence", type=int, default=1,
+        help="drift check every N windows (default 1)",
+    )
+    p_adapt.add_argument(
+        "--history", type=int, default=1,
+        help="sliding-window depth in windows (default 1)",
+    )
+    p_adapt.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="drift trigger factor over the post-placement score "
+             "(default 1.5)",
+    )
+    p_adapt.add_argument(
+        "--policy", choices=["drift", "never", "always"], default="drift",
+        help="re-placement policy (default drift)",
+    )
+    _add_cache_option(p_adapt)
+    _add_store_options(p_adapt, default_on=True)
 
     p_report = sub.add_parser(
         "report",
@@ -948,6 +1065,7 @@ _COMMANDS = {
     "tables": cmd_tables,
     "jobs": cmd_jobs,
     "bench": cmd_bench,
+    "adapt": cmd_adapt,
     "report": cmd_report,
     "serve": cmd_serve,
     "submit": cmd_submit,

@@ -23,6 +23,7 @@ O(edges x span^2).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from itertools import chain
 
 import numpy as np
@@ -31,6 +32,7 @@ from ..cache.config import CacheConfig
 from ..profiling.profile_data import Profile
 
 PairKey = tuple[int, int]
+EdgeKey = tuple[PairKey, PairKey]
 
 #: Bit width of the chunk field in a packed (entity, chunk) pair key.
 _CHUNK_BITS = 32
@@ -145,24 +147,58 @@ class TRGIndex:
     ``nbr``, ``wt``), so one placement builds it once with vectorized
     passes and every conflict scan gathers edge slices without touching a
     Python-level dict.
+
+    Indexes built with :meth:`from_edges` own their edge dict and support
+    :meth:`apply_edge_deltas` — the adaptive engine's incremental
+    add/retire path, which updates ``wt`` slots in place while the edge
+    set is stable and falls back to an insertion-order-preserving rebuild
+    only on structural change.
     """
 
     def __init__(self, profile: Profile):
-        num_edges = len(profile.trg)
-        num_entities = len(profile.entities)
+        self._edges: dict[EdgeKey, int] = profile.trg
+        self._owns_edges = False
+        self._entity_ids = np.fromiter(
+            profile.entities, dtype=np.int64, count=len(profile.entities)
+        )
+        self.inplace_updates = 0
+        self.rebuilds = 0
+        self._build()
+
+    @classmethod
+    def from_edges(
+        cls, edges: dict[EdgeKey, int], entity_ids: Iterable[int]
+    ) -> "TRGIndex":
+        """Build an index that owns (a copy of) a raw TRG edge dict.
+
+        Unlike the profile constructor, the resulting index may be
+        mutated through :meth:`apply_edge_deltas`.  ``entity_ids`` should
+        cover every entity the index will ever carry edges for, so that
+        chunk 0 of each is always part of the pair universe (matching
+        :func:`active_chunks_by_entity`).
+        """
+        index = cls.__new__(cls)
+        index._edges = dict(edges)
+        index._owns_edges = True
+        index._entity_ids = np.fromiter(entity_ids, dtype=np.int64)
+        index.inplace_updates = 0
+        index.rebuilds = 0
+        index._build()
+        return index
+
+    def _build(self) -> None:
+        edges = self._edges
+        num_edges = len(edges)
+        entity_ids = self._entity_ids
+        num_entities = len(entity_ids)
         # Flatten the ((eid, chunk), (eid, chunk)) keys with C-level
         # iterators; a Python generator here dominates the build time.
         flat = np.fromiter(
-            chain.from_iterable(chain.from_iterable(profile.trg)),
+            chain.from_iterable(chain.from_iterable(edges)),
             dtype=np.int64,
             count=4 * num_edges,
         ).reshape(num_edges, 4)
-        weights = np.fromiter(
-            profile.trg.values(), dtype=np.int64, count=num_edges
-        )
-        entity_ids = np.fromiter(
-            profile.entities, dtype=np.int64, count=num_entities
-        )
+        weights = np.fromiter(edges.values(), dtype=np.int64, count=num_edges)
 
         packed_a = (flat[:, 0] << _CHUNK_BITS) | flat[:, 1]
         packed_b = (flat[:, 2] << _CHUNK_BITS) | flat[:, 3]
@@ -196,6 +232,80 @@ class TRGIndex:
         np.cumsum(
             np.bincount(src, minlength=self.num_pairs), out=self.indptr[1:]
         )
+        # Slot maps for in-place weight updates: the i-th inserted edge
+        # owns ``wt`` slot ``_slot_fwd[i]`` and, unless it is a
+        # self-loop, the reverse-direction slot ``_slot_rev[i]``.
+        positions = np.empty(len(order), dtype=np.int64)
+        positions[order] = np.arange(len(order), dtype=np.int64)
+        self._slot_fwd = positions[:num_edges]
+        slot_rev = np.full(num_edges, -1, dtype=np.int64)
+        slot_rev[~loop] = positions[num_edges:]
+        self._slot_rev = slot_rev
+        self._edge_pos: dict[EdgeKey, int] | None = None
+
+    @property
+    def edges(self) -> dict[EdgeKey, int]:
+        """The backing TRG edge dict (treat as read-only)."""
+        return self._edges
+
+    def total_weight(self) -> int:
+        """Sum of all edge weights, each undirected edge counted once."""
+        return sum(self._edges.values())
+
+    def apply_edge_deltas(self, deltas: dict[EdgeKey, int]) -> None:
+        """Add/retire edge weight incrementally (sliding-window updates).
+
+        Each delta is added to the edge's current weight (missing edges
+        count as zero); edges whose weight drops to or below zero are
+        removed.  While every delta keeps an existing edge positive —
+        the common case once a sliding window has warmed up — the ``wt``
+        array is patched in place through the slot maps with no CSR
+        rebuild.  Structural changes (new edges, retired edges) mutate
+        the backing dict preserving insertion order — new keys append,
+        removed keys drop — and rebuild, so the result is always
+        bit-identical to a from-scratch build on the same dict.
+        """
+        if not deltas:
+            return
+        if not self._owns_edges:
+            self._edges = dict(self._edges)
+            self._owns_edges = True
+        edges = self._edges
+        structural = False
+        for key, delta in deltas.items():
+            old = edges.get(key)
+            if old is None or old + delta <= 0:
+                structural = True
+                break
+        if not structural:
+            positions = self._edge_pos
+            if positions is None:
+                positions = self._edge_pos = {
+                    key: i for i, key in enumerate(edges)
+                }
+            wt = self.wt
+            slot_fwd = self._slot_fwd
+            slot_rev = self._slot_rev
+            for key, delta in deltas.items():
+                if delta == 0:
+                    continue
+                new_weight = edges[key] + delta
+                edges[key] = new_weight
+                i = positions[key]
+                wt[slot_fwd[i]] = new_weight
+                rev = slot_rev[i]
+                if rev >= 0:
+                    wt[rev] = new_weight
+                self.inplace_updates += 1
+            return
+        for key, delta in deltas.items():
+            new_weight = edges.get(key, 0) + delta
+            if new_weight > 0:
+                edges[key] = new_weight
+            elif key in edges:
+                del edges[key]
+        self.rebuilds += 1
+        self._build()
 
     @classmethod
     def for_profile(cls, profile: Profile) -> "TRGIndex":

@@ -226,6 +226,27 @@ def validate_request(payload: dict, tenant_store: ArtifactStore) -> JobRecord:
 
                     place_heap = make_workload(workload).place_heap
                 params["place_heap"] = bool(place_heap)
+                mode = payload.get("mode", "static")
+                if mode not in ("static", "adaptive"):
+                    raise BadRequest(
+                        f"placement mode must be 'static' or 'adaptive', "
+                        f"got {mode!r}"
+                    )
+                params["mode"] = mode
+                if mode == "adaptive":
+                    try:
+                        window_events = int(payload.get("window_events", 1024))
+                        cadence = int(payload.get("cadence", 1))
+                    except (TypeError, ValueError):
+                        raise BadRequest(
+                            "window_events and cadence must be integers"
+                        )
+                    if window_events <= 0 or cadence <= 0:
+                        raise BadRequest(
+                            "window_events and cadence must be positive"
+                        )
+                    params["window_events"] = window_events
+                    params["cadence"] = cadence
         params["cache"] = _parse_cache(payload.get("cache"))
     identity = store_keys.digest_json({"kind": kind, "params": params})
     return JobRecord(
@@ -371,6 +392,31 @@ def _run_placement(record: JobRecord, store: ArtifactStore) -> dict:
     workload, input_name = params["workload"], params["input"]
     config = _config(params) or PAPER_CACHE
     place_heap = params["place_heap"]
+    if params.get("mode") == "adaptive":
+        from ..adaptive import run_adaptive
+
+        record.meta["warm"] = False
+        obs.count("serve.stages.executed")
+        trace = _load_or_record_trace(store, workload, input_name)
+        result = run_adaptive(
+            trace,
+            config,
+            place_heap=place_heap,
+            window_events=params["window_events"],
+            cadence=params["cadence"],
+        )
+        return {
+            "workload": workload,
+            "train_input": input_name,
+            "cache": params.get("cache"),
+            "place_heap": place_heap,
+            "mode": "adaptive",
+            "windows": len(result.windows),
+            "replacements": result.replacements,
+            "miss_rate": result.miss_rate,
+            "digest": store_stages.placement_digest(result.final_placement),
+            "placement": placement_to_dict(result.final_placement),
+        }
     pair = store_stages.try_load_placement_pair(
         store, workload, input_name, config, place_heap, "array"
     )

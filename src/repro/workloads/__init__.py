@@ -6,6 +6,12 @@ paper's table order.
 """
 
 from .base import Workload, WorkloadInput, make_workload, register, workload_names
+from .drift import (
+    DriftSpec,
+    DriftWorkload,
+    drift_workload,
+    drift_workload_names,
+)
 from .synthetic import (
     SyntheticSpec,
     SyntheticWorkload,
@@ -25,10 +31,14 @@ from . import m88ksim as _m88ksim  # noqa: F401
 from . import mgrid as _mgrid  # noqa: F401
 
 __all__ = [
+    "DriftSpec",
+    "DriftWorkload",
     "SyntheticSpec",
     "SyntheticWorkload",
     "Workload",
     "WorkloadInput",
+    "drift_workload",
+    "drift_workload_names",
     "make_workload",
     "register",
     "workload_names",

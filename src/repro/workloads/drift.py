@@ -1,0 +1,167 @@
+"""Phase-changing and drifting workloads for the adaptive engine.
+
+The static CCDP pipeline trains on one input and keeps that placement
+forever; these generators produce traces whose hot set *moves*, the
+situation the adaptive engine (:mod:`repro.adaptive`) exists for:
+
+* **phase-change** — the hot window jumps to a disjoint array set
+  halfway through the run.  The training window never sees the second
+  phase, so its arrays are laid out as unpopular filler — and because
+  every array's size divides the cache size, the untrained hot set
+  aliases heavily until a re-placement spreads its hot chunks.
+* **drifting** — the hot window slides gradually across a larger array
+  pool, a few arrays per phase, so the placement decays instead of
+  breaking at once.
+* **stationary** — a single phase; the control arm.  A correct drift
+  detector must never trigger a re-placement here.
+
+Like the :mod:`~repro.workloads.synthetic` kit, these are *not*
+registered in the global workload registry — the paper tables stay
+pinned to the nine benchmarks.  Use :func:`drift_workload` to
+instantiate one by name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..vm.program import Program
+from .base import Workload, WorkloadInput
+
+_SITE_MAIN = 0xD0000
+_SITE_PHASE = 0xD0100
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Parameters of a moving-hot-set workload.
+
+    Attributes:
+        arrays: Total global arrays in the pool.
+        array_size: Bytes per array.  A divisor of the cache size makes
+            sequentially laid-out arrays alias at ``cache_size //
+            array_size`` distinct offsets — the conflict structure an
+            untrained placement leaves behind.
+        hot_arrays: Arrays in the hot window at any moment.
+        hot_bytes: Touched prefix of each hot array (the hot chunk).
+        phases: Distinct hot-window positions over the run.
+        step: Arrays the hot window advances between phases.
+        iterations: Total inner-loop trip count across all phases.
+        stack_frame_bytes: Frame size of the inner loop's function.
+        constant_bytes: Size of the constant table (0 disables).
+    """
+
+    arrays: int = 32
+    array_size: int = 2048
+    hot_arrays: int = 16
+    hot_bytes: int = 256
+    phases: int = 2
+    step: int = 16
+    iterations: int = 6000
+    stack_frame_bytes: int = 96
+    constant_bytes: int = 256
+
+
+@dataclass
+class DriftWorkload(Workload):
+    """A workload whose hot set moves according to a :class:`DriftSpec`."""
+
+    spec: DriftSpec = field(default_factory=DriftSpec)
+
+    def __init__(self, spec: DriftSpec | None = None, name: str = "drift"):
+        super().__init__(
+            name=name,
+            inputs={
+                "train": WorkloadInput("train", seed=7001, scale=1.0),
+                "test": WorkloadInput("test", seed=8009, scale=1.2),
+            },
+            place_heap=False,
+        )
+        self.spec = spec or DriftSpec()
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        spec = self.spec
+        pool = [
+            program.add_global(f"arr_{index}", spec.array_size)
+            for index in range(spec.arrays)
+        ]
+        constant = (
+            program.add_constant("lookup", spec.constant_bytes)
+            if spec.constant_bytes
+            else None
+        )
+        program.start()
+
+        iterations = self.scaled(spec.iterations, scale)
+        per_phase = max(1, iterations // max(1, spec.phases))
+        hot_lines = max(1, spec.hot_bytes // 8)
+        with program.function(_SITE_MAIN, frame_bytes=64):
+            with program.function(
+                _SITE_PHASE, frame_bytes=spec.stack_frame_bytes
+            ):
+                for index in range(iterations):
+                    phase = min(index // per_phase, spec.phases - 1)
+                    first = phase * spec.step
+                    array = pool[
+                        (first + index % spec.hot_arrays) % spec.arrays
+                    ]
+                    offset = 8 * ((index * 3) % hot_lines)
+                    program.load(array, offset)
+                    program.load(array, (offset + 64) % spec.hot_bytes)
+                    if constant is not None and index % 4 == 0:
+                        program.load(
+                            constant, (index * 8) % spec.constant_bytes
+                        )
+                    if index % 8 == 0:
+                        program.store_local(8 * (index % 4))
+                    program.compute(3)
+
+
+def phase_change(**overrides) -> DriftWorkload:
+    """Hot set jumps to a disjoint array half mid-run."""
+    spec = DriftSpec(
+        arrays=32, hot_arrays=16, phases=2, step=16, **overrides
+    )
+    return DriftWorkload(spec, name="phase-change")
+
+
+def drifting(**overrides) -> DriftWorkload:
+    """Hot window slides across the pool a few arrays per phase."""
+    spec = DriftSpec(
+        arrays=44, hot_arrays=16, phases=8, step=4, **overrides
+    )
+    return DriftWorkload(spec, name="drifting")
+
+
+def stationary(**overrides) -> DriftWorkload:
+    """Single-phase control arm: the hot set never moves."""
+    spec = DriftSpec(
+        arrays=16, hot_arrays=16, phases=1, step=0, **overrides
+    )
+    return DriftWorkload(spec, name="stationary")
+
+
+#: Name -> factory for the adaptive scenario workloads.
+DRIFT_WORKLOADS = {
+    "phase-change": phase_change,
+    "drifting": drifting,
+    "stationary": stationary,
+}
+
+
+def drift_workload_names() -> list[str]:
+    """The adaptive scenario names, in documentation order."""
+    return list(DRIFT_WORKLOADS)
+
+
+def drift_workload(name: str, **overrides) -> DriftWorkload:
+    """Instantiate an adaptive scenario workload by name."""
+    try:
+        factory = DRIFT_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown drift workload {name!r}; "
+            f"available: {drift_workload_names()}"
+        ) from None
+    return factory(**overrides)
