@@ -89,3 +89,86 @@ class TwoLevelCache:
     def stats(self) -> HierarchyStats:
         """Current per-level statistics."""
         return HierarchyStats(l1=self.l1.stats, l2=self.l2.stats)
+
+
+#: Default latency parameters of :meth:`HierarchyStats.average_access_time`,
+#: shared by the two-level cost model's calibration pass.
+L1_TIME = 1.0
+L2_TIME = 10.0
+MEMORY_TIME = 60.0
+
+#: Trace-prefix length of one calibration replay.  The per-entity L2
+#: behaviour of these synthetic workloads is stationary, so a bounded
+#: scalar replay prices the entities without paying for the full trace.
+CALIBRATION_EVENTS = 200_000
+
+
+def entity_l2_penalties(
+    trace,
+    l1_config: CacheConfig | None = None,
+    l2_config: CacheConfig | None = None,
+    l2_time: float = L2_TIME,
+    memory_time: float = MEMORY_TIME,
+    max_events: int = CALIBRATION_EVENTS,
+) -> dict[int, int]:
+    """Per-entity conflict-miss penalties from a two-level replay.
+
+    Replays (a prefix of) the trace under the *natural* placement
+    through a :class:`TwoLevelCache`, then prices each placement
+    entity's L1 conflict miss from its measured L2 behaviour::
+
+        penalty(e) = round(l2_time + l2_miss_fraction(e) * memory_time)
+
+    An entity whose lines survive in L2 pays roughly the L2 hit
+    latency per conflict; one whose lines die in L2 pays the memory
+    latency too.  Entities that never reached L2 during calibration
+    default to the optimistic L2-hit penalty.  The integer penalties
+    feed :class:`~repro.core.cost_model.ConflictCostModel.\
+entity_penalties`, keeping the gated scans exact.
+    """
+    from ..profiling.batch import trace_entity_map
+    from ..runtime.resolvers import NaturalResolver
+    from ..trace.buffer import DEFAULT_CHUNK_EVENTS
+
+    hierarchy = TwoLevelCache(l1_config, l2_config)
+    obj_col, _offset, size_col, cat_col, store_col = trace.columns()
+    replayed = 0
+    for start, end, addresses in trace.iter_resolved(
+        NaturalResolver(), DEFAULT_CHUNK_EVENTS
+    ):
+        stop = min(end, max_events)
+        for i in range(start, stop):
+            hierarchy.access(
+                int(addresses[i - start]),
+                int(size_col[i]),
+                int(obj_col[i]),
+                Category(int(cat_col[i])),
+                bool(store_col[i]),
+            )
+        replayed = stop
+        if replayed >= max_events:
+            break
+
+    base = max(1, round(l2_time))
+    if not replayed:
+        return {}
+    eid_map = trace_entity_map(trace)
+    l2 = hierarchy.l2.stats
+    accesses: dict[int, int] = {}
+    misses: dict[int, int] = {}
+    for obj_id, count in l2.accesses_by_object.items():
+        eid = int(eid_map[obj_id]) if obj_id < eid_map.size else obj_id
+        accesses[eid] = accesses.get(eid, 0) + count
+    for obj_id, count in l2.misses_by_object.items():
+        eid = int(eid_map[obj_id]) if obj_id < eid_map.size else obj_id
+        misses[eid] = misses.get(eid, 0) + count
+    penalties: dict[int, int] = {}
+    for eid, acc in accesses.items():
+        fraction = misses.get(eid, 0) / acc if acc else 0.0
+        penalties[eid] = max(base, round(l2_time + fraction * memory_time))
+    # Entities that never reached L2 still pay at least the L2 access
+    # latency on an L1 conflict miss — price them at the optimistic base
+    # so relative weights stay meaningful.
+    for eid in set(int(e) for e in eid_map):
+        penalties.setdefault(eid, base)
+    return penalties

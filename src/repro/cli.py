@@ -16,6 +16,10 @@ Commands mirror the paper's workflow:
   under a fault-tolerant dispatcher (``--max-retries``,
   ``--task-timeout``, ``--fail-fast``/``--best-effort`` — see
   ``docs/RELIABILITY.md``).
+* ``sweep``    — run the geometry x associativity x workload grid as
+  one deduplicated job graph and write ``BENCH_sweep.json``: per-cell
+  placed-vs-original miss rates, win/loss/tie verdicts, and the cells
+  where associativity inverts CCDP's verdict (``docs/SWEEP.md``).
 * ``bench``    — time the table pipeline under the batched engine vs the
   scalar baseline and write ``BENCH_pipeline.json``; ``--placement``
   times the placement pass (array vs scalar conflict-scan engine) and
@@ -392,6 +396,113 @@ def cmd_jobs(args) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> tuple[int, ...]:
+    """Parse a comma-separated integer list (e.g. ``4096,8192``)."""
+    try:
+        values = tuple(
+            int(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def cmd_sweep(args) -> int:
+    from .runtime import parallel
+    from .runtime.faults import FaultToleranceError, RetryPolicy
+    from .sweep import (
+        DEFAULT_WORKLOADS,
+        QUICK_ASSOCIATIVITIES,
+        QUICK_SIZES,
+        QUICK_WORKLOADS,
+        SWEEP_OUTPUT,
+        build_grid,
+        render_sweep,
+        run_sweep,
+        write_sweep,
+    )
+
+    parallel.set_retry_policy(
+        RetryPolicy(
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            best_effort=args.best_effort,
+        )
+    )
+    parallel.reset_fanout_reports()
+    sizes = args.sizes
+    assocs = args.assoc
+    workloads = None
+    if args.workloads:
+        workloads = tuple(
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        )
+    if args.quick:
+        sizes = sizes or QUICK_SIZES
+        assocs = assocs or QUICK_ASSOCIATIVITIES
+        workloads = workloads or QUICK_WORKLOADS
+    try:
+        if args.geometries:
+            # Explicit SIZE:LINE:ASSOC points, already geometry-checked
+            # by the argparse type; still validated as a grid so unknown
+            # workloads and cost models fail here too.
+            cells = []
+            for config in args.geometries:
+                cells.extend(
+                    build_grid(
+                        sizes=(config.size,),
+                        associativities=(config.associativity,),
+                        line_size=config.line_size,
+                        workloads=workloads or DEFAULT_WORKLOADS,
+                        cost_model=args.cost_model,
+                    )
+                )
+            # Re-sort workload-major so shared stages stay adjacent.
+            cells.sort(key=lambda cell: (cell.workload, cell.size,
+                                         cell.line_size, cell.associativity))
+        else:
+            kwargs = {"cost_model": args.cost_model}
+            if sizes:
+                kwargs["sizes"] = sizes
+            if assocs:
+                kwargs["associativities"] = assocs
+            if args.line:
+                kwargs["line_size"] = args.line
+            if workloads:
+                kwargs["workloads"] = workloads
+            cells = build_grid(**kwargs)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"sweep: {len(cells)} cells "
+        f"({len({c.workload for c in cells})} workloads x "
+        f"{len({(c.size, c.line_size, c.associativity) for c in cells})} "
+        f"geometries)"
+    )
+    try:
+        payload = run_sweep(cells, jobs=args.jobs)
+    except FaultToleranceError as exc:
+        print(exc.report.render(), file=sys.stderr)
+        print(f"sweep aborted: {exc}", file=sys.stderr)
+        return 1
+    print(render_sweep(payload))
+    print(payload["sched"])
+    output = args.output or SWEEP_OUTPUT
+    write_sweep(payload, output)
+    print(f"sweep report written to {output}")
+    report = parallel.combined_fanout_report()
+    if report is not None and (
+        report.degraded or report.retries or report.timeouts or report.crashes
+    ):
+        print(report.render(), file=sys.stderr)
+    return 1 if payload["failed"] else 0
+
+
 def cmd_bench(args) -> int:
     from .runtime.bench import (
         CACHE_OUTPUT,
@@ -684,6 +795,7 @@ _STORE_COMMANDS = {
     "run": True,
     "tables": True,
     "jobs": True,
+    "sweep": True,
     "report": True,
     "bench": False,
     "adapt": True,
@@ -844,6 +956,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_retry_options(p_jobs)
     _add_store_options(p_jobs, default_on=True)
+
+    from .core.cost_model import COST_MODEL_NAMES
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run the geometry x associativity x workload grid as one "
+             "job graph and write BENCH_sweep.json (docs/SWEEP.md)",
+    )
+    p_sweep.add_argument(
+        "--sizes", type=_parse_int_list, default=None,
+        help="comma-separated cache sizes in bytes "
+             "(default 4096,8192,16384)",
+    )
+    p_sweep.add_argument(
+        "--assoc", type=_parse_int_list, default=None,
+        help="comma-separated associativities (default 1,2,4)",
+    )
+    p_sweep.add_argument(
+        "--line", type=int, default=None,
+        help="cache line size in bytes (default 32)",
+    )
+    p_sweep.add_argument(
+        "--geometries", type=_parse_cache, nargs="+", default=None,
+        help="explicit SIZE:LINE:ASSOC grid points (replaces "
+             "--sizes/--assoc/--line; validated at parse time)",
+    )
+    p_sweep.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workloads; benchmarks and family "
+             "scenarios both resolve "
+             "(default espresso,compress,alloc-mix,pqueue-churn,"
+             "layout-stress)",
+    )
+    p_sweep.add_argument(
+        "--cost-model", choices=("auto",) + COST_MODEL_NAMES,
+        default="auto",
+        help="conflict-cost model for every cell; auto picks direct "
+             "for 1-way and assoc otherwise (default auto)",
+    )
+    p_sweep.add_argument(
+        "--quick", action="store_true",
+        help="CI mini-grid: 8192:32 at 1- and 4-way x espresso + "
+             "layout-stress",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for stage-job dispatch (default 1)",
+    )
+    p_sweep.add_argument(
+        "-o", "--output", default=None,
+        help="where to write the JSON report (default BENCH_sweep.json)",
+    )
+    _add_retry_options(p_sweep)
+    _add_store_options(p_sweep, default_on=True)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the batched engine against the scalar baseline"
@@ -1064,6 +1230,7 @@ _COMMANDS = {
     "summary": cmd_summary,
     "tables": cmd_tables,
     "jobs": cmd_jobs,
+    "sweep": cmd_sweep,
     "bench": cmd_bench,
     "adapt": cmd_adapt,
     "report": cmd_report,

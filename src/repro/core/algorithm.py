@@ -40,6 +40,7 @@ from .cache_struct import (
     conflict_cost_scan,
 )
 from .compound import CompoundMerger, CompoundNode
+from .cost_model import ConflictCostModel
 from .placement_engine import FIXED, ArrayCompoundMerger, ArrayPlacementEngine
 from .global_order import GlobalLayout, LayoutAtom, order_globals
 from .heap_prep import (
@@ -74,6 +75,11 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
             :class:`~repro.core.compound.CompoundMerger` path.  Both
             produce bit-identical placements (the parity suite asserts
             it); the scalar path exists as the reference baseline.
+        cost_model: Optional :class:`~repro.core.cost_model.\
+ConflictCostModel` refining the Phase 2/6 conflict scans —
+            associativity-gated set collisions and/or per-entity
+            two-level penalties.  Requires the array engine; ``None``
+            (or a trivial model) keeps the classic direct-mapped cost.
     """
 
     def __init__(
@@ -85,9 +91,14 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
         locality_threshold: int = DEFAULT_LOCALITY_THRESHOLD,
         max_bins: int = DEFAULT_MAX_BINS,
         engine: str = "array",
+        cost_model: ConflictCostModel | None = None,
     ):
         if engine not in ("array", "scalar"):
             raise ValueError(f"unknown placement engine: {engine!r}")
+        if cost_model is not None and not cost_model.is_trivial and engine != "array":
+            raise ValueError(
+                "non-trivial cost models require the array placement engine"
+            )
         self.profile = profile
         self.config = cache_config or CacheConfig()
         self.popularity_cutoff = popularity_cutoff
@@ -95,6 +106,7 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
         self.locality_threshold = locality_threshold
         self.max_bins = max_bins
         self.engine = engine
+        self.cost_model = cost_model
         self.stats = PlacementStats()
 
     # -- public entry point --------------------------------------------------
@@ -253,7 +265,9 @@ ArrayPlacementEngine`; ``"scalar"`` keeps the dict-based
         profile = self.profile
         config = self.config
         index = TRGIndex.for_profile(profile)
-        engine = ArrayPlacementEngine(index, config, profile.chunk_size)
+        engine = ArrayPlacementEngine(
+            index, config, profile.chunk_size, cost_model=self.cost_model
+        )
         self._array_engine = engine
 
         constants = profile.entities_of(Category.CONST)

@@ -1,0 +1,106 @@
+"""Conflict-cost models: associativity gating and two-level weighting.
+
+The paper's Figure 2 scan charges an edge whenever the two chunk spans
+share a cache line — the right model for a direct-mapped cache, where
+two blocks in one set always evict each other.  A set-associative cache
+only thrashes when *more than ``ways``* concurrently popular blocks
+contend for one set (paper §5.2 places into sets; this module adds the
+missing occupancy gate), and in a two-level hierarchy an L1 conflict
+miss is not one cycle but an L2 access — or a memory access when the
+victim's line also misses L2.
+
+:class:`ConflictCostModel` captures both refinements for the
+:class:`~repro.core.placement_engine.ArrayPlacementEngine`:
+
+* ``ways`` — the occupancy gate.  A scan's candidate cost at set ``t``
+  counts an edge only when the total popular-chunk occupancy of ``t``
+  (fixed side plus the whole moving node) exceeds ``ways``.  With
+  ``ways == 1`` the gate is provably always open for any overlapping
+  pair (occupancy is at least 2), so the gated cost equals the classic
+  direct-mapped cost bit for bit — the parity suite pins this.
+* ``entity_penalties`` — integer per-entity conflict-miss penalties
+  derived from a :class:`~repro.cache.hierarchy.TwoLevelCache` replay
+  (:func:`~repro.cache.hierarchy.entity_l2_penalties`): an entity whose
+  lines die in L2 pays the memory latency per conflict, one that hits
+  L2 pays only the L2 latency.  The engine scales each TRG edge by the
+  larger endpoint penalty, steering the placer toward protecting the
+  objects whose misses are most expensive.
+
+Cost models are identified in store keys and job graphs by the names
+accepted by :func:`resolve_cost_model`: ``"direct"`` (the classic
+model, the default everywhere), ``"assoc"`` (occupancy-gated), and
+``"two-level"`` (occupancy-gated plus L2-latency weighting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cost-model names accepted on the CLI and in job/store keys.
+COST_MODEL_NAMES = ("direct", "assoc", "two-level")
+
+#: Above this set count the gated scan's (2S)^2 grid stops being cheap;
+#: the engine falls back to the classic ungated scan and counts the
+#: fallback in telemetry (``place.assoc_scan_fallbacks``).
+GATED_SCAN_MAX_SETS = 2048
+
+
+@dataclass(frozen=True)
+class ConflictCostModel:
+    """Parameters refining the Figure 2 conflict cost.
+
+    Attributes:
+        ways: Set associativity of the target geometry; conflicts cost
+            only when more than this many popular chunks contend for a
+            set.  ``1`` reproduces the classic direct-mapped cost.
+        entity_penalties: Optional entity id -> integer conflict-miss
+            penalty (cycles).  ``None`` weighs every edge equally.
+    """
+
+    ways: int = 1
+    entity_penalties: dict[int, int] | None = field(default=None, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        if self.entity_penalties is not None:
+            for eid, penalty in self.entity_penalties.items():
+                if int(penalty) < 1:
+                    raise ValueError(
+                        f"entity {eid} penalty must be >= 1, got {penalty}"
+                    )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the model reduces to the classic scan."""
+        return self.ways <= 1 and not self.entity_penalties
+
+
+def resolve_cost_model(name: str, config, trace=None) -> ConflictCostModel | None:
+    """Build the :class:`ConflictCostModel` a named mode implies.
+
+    Args:
+        name: ``"direct"`` (returns ``None`` — the classic path),
+            ``"assoc"``, or ``"two-level"``.
+        config: Target :class:`~repro.cache.config.CacheConfig`; its
+            associativity becomes the occupancy gate.
+        trace: Recorded training trace; required by ``"two-level"``,
+            whose penalties come from a hierarchy replay of its prefix.
+    """
+    if name == "direct":
+        return None
+    if name == "assoc":
+        return ConflictCostModel(ways=config.associativity if config else 1)
+    if name == "two-level":
+        penalties = None
+        if trace is not None:
+            from ..cache.hierarchy import entity_l2_penalties
+
+            penalties = entity_l2_penalties(trace, config)
+        return ConflictCostModel(
+            ways=config.associativity if config else 1,
+            entity_penalties=penalties,
+        )
+    raise ValueError(
+        f"unknown cost model {name!r}; expected one of {COST_MODEL_NAMES}"
+    )

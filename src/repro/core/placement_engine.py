@@ -25,6 +25,16 @@ O(deg(node2)) — because every edge that matters to the scan is incident
 to the moving side.  The cost vector is the exact integer trapezoid sum
 of the scalar path, so placements are bit-identical (asserted across all
 nine workloads by ``tests/test_placement_parity.py``).
+
+With a non-trivial :class:`~repro.core.cost_model.ConflictCostModel`
+the scan generalizes to set-index collisions under associativity: the
+per-edge trapezoid becomes a 2D rectangle over (fixed set, moving set)
+coordinates, an occupancy gate zeroes every cell where at most ``ways``
+popular chunks contend, and the per-start cost vector is the
+anti-diagonal fold of the gated grid.  At ``ways == 1`` the gate is
+always open for overlapping spans, so the gated cost equals the classic
+trapezoid cost exactly (``tests/test_assoc_cost.py`` pins both that
+identity and a brute-force reference on small grids).
 """
 
 from __future__ import annotations
@@ -32,8 +42,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..cache.config import CacheConfig
+from ..obs import telemetry as obs
 from .cache_struct import TRGIndex
 from .compound import CompoundNode
+from .cost_model import GATED_SCAN_MAX_SETS, ConflictCostModel
 
 #: ``owner`` sentinel for pairs fixed by Phase 2 (stack + constants).
 FIXED = -2
@@ -52,9 +64,20 @@ class ArrayPlacementEngine:
         index: CSR adjacency over the profile's TRGplace edges.
         config: Target cache geometry.
         chunk_size: TRG chunk granularity in bytes.
+        cost_model: Optional :class:`ConflictCostModel`.  ``None`` (or a
+            trivial model) keeps the classic direct-mapped trapezoid
+            scan; ``ways > 1`` switches :meth:`scan` to the
+            occupancy-gated set-collision cost, and ``entity_penalties``
+            scales each edge by the larger endpoint penalty.
     """
 
-    def __init__(self, index: TRGIndex, config: CacheConfig, chunk_size: int):
+    def __init__(
+        self,
+        index: TRGIndex,
+        config: CacheConfig,
+        chunk_size: int,
+        cost_model: ConflictCostModel | None = None,
+    ):
         self.index = index
         self.config = config
         self.chunk_size = chunk_size
@@ -66,6 +89,24 @@ class ArrayPlacementEngine:
         self.scan_count = 0
         # Reused second-difference scatter buffer; grows monotonically.
         self._second = np.zeros(4 * self.num_lines, dtype=np.int64)
+        self.cost_model = cost_model or ConflictCostModel()
+        self._pair_penalty: np.ndarray | None = None
+        if self.cost_model.entity_penalties:
+            penalty = np.ones(max(int(index.pair_eid.max()) + 1, 1), dtype=np.int64)
+            for eid, value in self.cost_model.entity_penalties.items():
+                if 0 <= eid < penalty.size:
+                    penalty[eid] = int(value)
+            self._pair_penalty = penalty[index.pair_eid]
+        self._gated = self.cost_model.ways > 1
+        if self._gated and self.num_lines > GATED_SCAN_MAX_SETS:
+            # The (2S)^2 grid would dominate the scan; degrade to the
+            # classic ungated cost rather than blowing up memory.
+            self._gated = False
+            obs.count("place.assoc_scan_fallbacks")
+        # Lazy gated-scan buffers: the (2S)^2 rectangle grid and the
+        # (t, s) -> u = (t - s) mod S anti-diagonal gather index.
+        self._grid: np.ndarray | None = None
+        self._diag_u: np.ndarray | None = None
 
     # -- span bookkeeping --------------------------------------------------
 
@@ -239,9 +280,29 @@ class ArrayPlacementEngine:
         nbrs = nbrs[mask]
         weights = self.index.wt[flat][mask]
         src = np.repeat(moving, counts)[mask]
+        if self._pair_penalty is not None:
+            # Two-level mode: an edge costs the *worse* endpoint's
+            # conflict-miss penalty (L2 hit vs memory latency).
+            weights = weights * np.maximum(
+                self._pair_penalty[src], self._pair_penalty[nbrs]
+            )
+        if self._gated:
+            cost = self._gated_cost_vector(moving, src, nbrs, weights, include_owner)
+        else:
+            cost = self._trapezoid_cost_vector(src, nbrs, weights)
+        rotated = np.concatenate((cost[pref:], cost[:pref]))
+        step = int(np.argmin(rotated))
+        return (pref + step) % num_lines, int(rotated[step])
 
-        # Each (fixed, moving) edge is a trapezoid over the start offset;
-        # scatter its four second-difference deltas, double-cumsum, fold.
+    def _trapezoid_cost_vector(
+        self, src: np.ndarray, nbrs: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Classic direct-mapped cost over all candidate start lines.
+
+        Each (fixed, moving) edge is a trapezoid over the start offset;
+        scatter its four second-difference deltas, double-cumsum, fold.
+        """
+        num_lines = self.num_lines
         sm = self.span_len[src]
         sf = self.span_len[nbrs]
         starts = (self.start_line[nbrs] - (self.start_line[src] + sm - 1)) % num_lines
@@ -257,10 +318,85 @@ class ArrayPlacementEngine:
         np.add.at(second, idx, val)
         np.cumsum(second, out=second)
         np.cumsum(second, out=second)
-        cost = second.reshape(rows, num_lines).sum(axis=0)
-        rotated = np.concatenate((cost[pref:], cost[:pref]))
-        step = int(np.argmin(rotated))
-        return (pref + step) % num_lines, int(rotated[step])
+        return second.reshape(rows, num_lines).sum(axis=0)
+
+    def _coverage(self, pairs: np.ndarray) -> np.ndarray:
+        """Popular-chunk occupancy per cache set for a batch of spans.
+
+        Interval scatter + cumsum + circular fold; spans longer than the
+        set count are clamped to full coverage (they occupy every set).
+        """
+        num_lines = self.num_lines
+        buf = np.zeros(2 * num_lines + 1, dtype=np.int64)
+        if pairs.size:
+            starts = self.start_line[pairs]
+            lens = np.minimum(self.span_len[pairs], num_lines)
+            np.add.at(buf, starts, 1)
+            np.add.at(buf, starts + lens, -1)
+            np.cumsum(buf, out=buf)
+        return buf[:num_lines] + buf[num_lines : 2 * num_lines]
+
+    def _gated_cost_vector(
+        self,
+        moving: np.ndarray,
+        src: np.ndarray,
+        nbrs: np.ndarray,
+        weights: np.ndarray,
+        include_owner: int | None,
+    ) -> np.ndarray:
+        """Occupancy-gated set-collision cost over all candidate starts.
+
+        Exact integer computation in (t, u) coordinates, where ``t`` is
+        the set a fixed span covers and ``u`` the (unshifted) set a
+        moving span covers — placing the moving node at start ``s``
+        sends ``u`` to set ``t = (u + s) mod S``:
+
+        1. scatter each masked edge's weight as a rectangle
+           ``fixed span x moving span`` onto an unwrapped ``(2S, 2S)``
+           grid (4 corner deltas, one cumsum per axis, quadrant fold);
+        2. zero every cell where the post-placement occupancy of set
+           ``t`` — fixed coverage ``F[t]`` plus the whole moving node's
+           coverage ``M[u]`` — does not exceed ``ways``;
+        3. fold anti-diagonals ``t - u = s (mod S)`` into the per-start
+           cost vector.
+
+        With ``ways == 1`` every populated cell has ``F[t] >= 1`` and
+        ``M[u] >= 1``, the gate never closes, and the result equals
+        :meth:`_trapezoid_cost_vector` exactly.
+        """
+        num_lines = self.num_lines
+        side = 2 * num_lines
+        if self._grid is None:
+            self._grid = np.zeros((side, side), dtype=np.int64)
+            t = np.arange(num_lines, dtype=np.int64)
+            self._diag_u = (t[:, None] - t[None, :]) % num_lines
+        grid = self._grid
+        grid[:] = 0
+        fs = self.start_line[nbrs]
+        fl = np.minimum(self.span_len[nbrs], num_lines)
+        ms = self.start_line[src]
+        ml = np.minimum(self.span_len[src], num_lines)
+        np.add.at(grid, (fs, ms), weights)
+        np.add.at(grid, (fs, ms + ml), -weights)
+        np.add.at(grid, (fs + fl, ms), -weights)
+        np.add.at(grid, (fs + fl, ms + ml), weights)
+        np.cumsum(grid, axis=0, out=grid)
+        np.cumsum(grid, axis=1, out=grid)
+        quad = (
+            grid[:num_lines, :num_lines]
+            + grid[num_lines:, :num_lines]
+            + grid[:num_lines, num_lines:]
+            + grid[num_lines:, num_lines:]
+        )
+        fixed_mask = self.owner == FIXED
+        if include_owner is not None:
+            fixed_mask |= self.owner == include_owner
+        occupancy_f = self._coverage(np.flatnonzero(fixed_mask))
+        occupancy_m = self._coverage(moving)
+        gate = (occupancy_f[:, None] + occupancy_m[None, :]) > self.cost_model.ways
+        quad[~gate] = 0
+        t = np.arange(num_lines, dtype=np.int64)
+        return quad[t[:, None], self._diag_u].sum(axis=0)
 
 
 class ArrayCompoundMerger:

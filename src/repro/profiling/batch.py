@@ -55,6 +55,42 @@ from .profiler import ProfilerSink
 from .trg import DEFAULT_CHUNK_SIZE
 
 
+def trace_entity_map(
+    trace: TraceRecorder, name_depth: int = DEFAULT_NAME_DEPTH
+) -> np.ndarray:
+    """Object id -> entity id for a recorded trace, lifetime ops only.
+
+    Replays just the (rare) lifetime ops through a fresh
+    :class:`ProfilerSink`, reproducing the deterministic entity
+    numbering a full profile of the same trace assigns — the reference
+    stream itself is never touched.  Consumers that have per-*object*
+    statistics (e.g. the two-level calibration pass of
+    :func:`repro.cache.hierarchy.entity_l2_penalties`) use this to
+    aggregate them onto placement entities.
+    """
+    sink = ProfilerSink(name_depth=name_depth)
+    obj_col, *_rest = trace.columns()
+    max_obj = int(obj_col.max()) if len(obj_col) else STACK_OBJECT_ID
+    entity_of_object = sink._entity_of_object
+    eid_map = np.zeros(max(max_obj, STACK_OBJECT_ID) + 1, dtype=np.int64)
+    eid_map[STACK_OBJECT_ID] = STACK_ENTITY_ID
+    for _position, kind, payload in trace.lifetime_ops:
+        if kind == _OP_OBJECT:
+            sink.on_object(payload)
+            if payload.obj_id <= max_obj:
+                eid_map[payload.obj_id] = entity_of_object[payload.obj_id]
+        elif kind == _OP_ALLOC:
+            info, return_addresses = payload
+            sink.on_alloc(info, return_addresses)
+            if info.obj_id <= max_obj:
+                eid_map[info.obj_id] = entity_of_object[info.obj_id]
+        elif kind == _OP_FREE:
+            sink.on_free(payload)
+        elif kind == _OP_STACK_DEPTH:
+            sink.on_stack_depth(payload)
+    return eid_map
+
+
 def _entry_bytes_column(
     kept_eids: np.ndarray,
     kept_pos: np.ndarray,

@@ -266,6 +266,7 @@ def build_placement(
     place_heap: bool | None = None,
     trace: TraceRecorder | None = None,
     placement_engine: str = "array",
+    cost_model: str = "direct",
     **profiler_kwargs,
 ) -> tuple[Profile, PlacementMap]:
     """Profile the training input and run the placement algorithm.
@@ -274,8 +275,12 @@ def build_placement(
     both stage outputs are store-backed: the profile by trace
     fingerprint + profiler parameters, the placement map by those plus
     the geometry and placer configuration — so e.g. re-placing under a
-    different engine reuses the cached profile.
+    different engine reuses the cached profile.  ``cost_model`` selects
+    the conflict-cost model (``direct``/``assoc``/``two-level``); the
+    two-level calibration replay needs the recorded ``trace``.
     """
+    from ..core.cost_model import resolve_cost_model
+
     train = train_input or workload.train_input
     profile = profile_workload(
         workload, train, cache_config, trace=trace, **profiler_kwargs
@@ -288,6 +293,7 @@ def build_placement(
             cache_config=cache_config,
             place_heap=resolved_heap,
             engine=placement_engine,
+            cost_model=resolve_cost_model(cost_model, cache_config, trace),
         )
         return placer.place()
 
@@ -302,6 +308,7 @@ def build_placement(
         placement_engine,
         store_stages.profile_params(profiler_kwargs),
         compute,
+        cost_model=cost_model,
     )
     return profile, placement
 

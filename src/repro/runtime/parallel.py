@@ -61,6 +61,7 @@ class ExperimentSpec:
     track_pages: bool = False
     cache_config: CacheConfig | None = None
     engine: str = "auto"
+    cost_model: str = "direct"
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,7 @@ class JobSpec:
     train_input: str | None = None  # measure(ccdp): where the placement trained
     place_heap: bool = False
     placement_engine: str = "array"
+    cost_model: str = "direct"  # place: direct | assoc | two-level
     policy: str = "natural"  # measure: natural | ccdp | random
     seed: int = RANDOM_SEED
     classify: bool = False
@@ -80,7 +81,7 @@ def bag_key(spec: JobSpec) -> tuple:
     """In-memory artifact key for store-less runs (semantic, not digest)."""
     base: tuple = (spec.kind, spec.workload, spec.input_name, spec.cache)
     if spec.kind == "place":
-        base += (spec.place_heap, spec.placement_engine)
+        base += (spec.place_heap, spec.placement_engine, spec.cost_model)
     elif spec.kind == "measure":
         base += (spec.policy, spec.seed, spec.classify, spec.track_pages)
     return base
@@ -107,6 +108,7 @@ def plan_experiments(specs) -> tuple[JobGraph, list[Job]]:
     order).  Scalar-engine specs cannot be expressed as trace-derived
     stage jobs and are rejected; callers keep those on the legacy path.
     """
+    from ..core.cost_model import COST_MODEL_NAMES
     from ..workloads import make_workload
 
     graph = JobGraph()
@@ -115,6 +117,11 @@ def plan_experiments(specs) -> tuple[JobGraph, list[Job]]:
     for spec in specs:
         if spec.engine == "scalar":
             raise ValueError("scalar-engine specs cannot be scheduled as a DAG")
+        if spec.cost_model not in COST_MODEL_NAMES:
+            raise ValueError(
+                f"unknown cost model {spec.cost_model!r}; "
+                f"expected one of {COST_MODEL_NAMES}"
+            )
         workload = make_workload(spec.workload)
         name = workload.name
         train = workload.train_input
@@ -152,20 +159,23 @@ def plan_experiments(specs) -> tuple[JobGraph, list[Job]]:
             input_name=train,
             cache=cache,
             place_heap=heap,
+            cost_model=spec.cost_model,
         )
+        place_fields = {
+            "workload": name,
+            "input": train,
+            "cache": cache_fields,
+            "params": params,
+            "place_heap": heap,
+            "engine": place_spec.placement_engine,
+        }
+        # Mirror the store-key schema: the default model stays out of the
+        # recipe so pre-existing place jobs keep their identity.
+        if spec.cost_model != "direct":
+            place_fields["cost_model"] = spec.cost_model
         place = graph.add(
             "place",
-            _job_key(
-                "place",
-                {
-                    "workload": name,
-                    "input": train,
-                    "cache": cache_fields,
-                    "params": params,
-                    "place_heap": heap,
-                    "engine": place_spec.placement_engine,
-                },
-            ),
+            _job_key("place", place_fields),
             label=place_spec.label,
             spec=place_spec,
             deps=[profile],
@@ -180,6 +190,7 @@ def plan_experiments(specs) -> tuple[JobGraph, list[Job]]:
                 cache=cache,
                 train_input=train,
                 place_heap=heap,
+                cost_model=spec.cost_model,
                 policy=policy,
                 classify=spec.classify,
                 track_pages=spec.track_pages,
@@ -216,20 +227,20 @@ def plan_experiments(specs) -> tuple[JobGraph, list[Job]]:
         agg_deps = [profile, place, original, ccdp]
         if random_m is not None:
             agg_deps.append(random_m)
+        aggregate_fields = {
+            "workload": name,
+            "train": train,
+            "test": test,
+            "cache": cache_fields,
+            "include_random": spec.include_random,
+            "classify": spec.classify,
+            "track_pages": spec.track_pages,
+        }
+        if spec.cost_model != "direct":
+            aggregate_fields["cost_model"] = spec.cost_model
         aggregate = graph.add(
             "aggregate",
-            _job_key(
-                "aggregate",
-                {
-                    "workload": name,
-                    "train": train,
-                    "test": test,
-                    "cache": cache_fields,
-                    "include_random": spec.include_random,
-                    "classify": spec.classify,
-                    "track_pages": spec.track_pages,
-                },
-            ),
+            _job_key("aggregate", aggregate_fields),
             label=f"aggregate:{name}/{test}",
             spec=spec,
             deps=agg_deps,
@@ -303,6 +314,7 @@ def _probe_job(store: ArtifactStore, job: Job) -> tuple[bool, dict]:
             config,
             spec.place_heap,
             spec.placement_engine,
+            cost_model=spec.cost_model,
         )
         if placement is None:
             return False, {}
@@ -440,6 +452,7 @@ def _run_profile(spec: JobSpec, bag: dict | None):
 
 def _run_place(spec: JobSpec, bag: dict | None):
     from ..core.algorithm import CCDPPlacer
+    from ..core.cost_model import resolve_cost_model
     from ..experiments.common import cached_trace
     from ..runtime.driver import build_placement
     from ..store import current_store
@@ -463,11 +476,13 @@ def _run_place(spec: JobSpec, bag: dict | None):
         # The profile dependency just ran in this process: place from
         # the in-memory object instead of re-decoding the store entry.
         def compute():
+            trace = cached_trace(spec.workload, spec.input_name)
             return CCDPPlacer(
                 profile,
                 cache_config=config,
                 place_heap=spec.place_heap,
                 engine=spec.placement_engine,
+                cost_model=resolve_cost_model(spec.cost_model, config, trace),
             ).place()
 
         if store is None:
@@ -481,6 +496,7 @@ def _run_place(spec: JobSpec, bag: dict | None):
                 spec.placement_engine,
                 store_stages.profile_params({}),
                 compute,
+                cost_model=spec.cost_model,
             )
     else:
         workload = make_workload(spec.workload)
@@ -492,6 +508,7 @@ def _run_place(spec: JobSpec, bag: dict | None):
             place_heap=spec.place_heap,
             trace=trace,
             placement_engine=spec.placement_engine,
+            cost_model=spec.cost_model,
         )
     if bag is not None:
         bag[bag_key(spec)] = placement
@@ -512,6 +529,7 @@ def _load_placement_for(spec: JobSpec, bag: dict | None):
                     cache=spec.cache,
                     place_heap=spec.place_heap,
                     placement_engine=spec.placement_engine,
+                    cost_model=spec.cost_model,
                 )
             )
         )
@@ -526,6 +544,7 @@ def _load_placement_for(spec: JobSpec, bag: dict | None):
             _config(spec),
             spec.place_heap,
             spec.placement_engine,
+            cost_model=spec.cost_model,
         )
         if placement is not None:
             return placement
@@ -541,6 +560,7 @@ def _load_placement_for(spec: JobSpec, bag: dict | None):
         place_heap=spec.place_heap,
         trace=cached_trace(spec.workload, spec.train_input),
         placement_engine=spec.placement_engine,
+        cost_model=spec.cost_model,
     )
     return placement
 
@@ -667,6 +687,7 @@ def assemble_experiment(
             RANDOM_SEED,
             spec.classify,
             spec.track_pages,
+            cost_model=spec.cost_model,
         )
     if result is not None:
         probe.commit()

@@ -97,14 +97,20 @@ def _placement_fields(
     place_heap: bool,
     engine: str,
     params: dict,
+    cost_model: str = "direct",
 ) -> dict:
-    return {
+    fields = {
         "trace": fingerprint,
         "cache": config_fields(config),
         "place_heap": bool(place_heap),
         "engine": engine,
         "params": params,
     }
+    # Only non-default cost models enter the key, so every placement
+    # recorded before the associativity-aware scans keeps its digest.
+    if cost_model != "direct":
+        fields["cost_model"] = cost_model
+    return fields
 
 
 def _measure_fields(
@@ -209,10 +215,11 @@ def cached_placement(
     engine: str,
     params: dict,
     compute: Callable,
+    cost_model: str = "direct",
 ):
     """Placement stage: the CCDP map for one (trace, geometry, placer)."""
     fields = _placement_fields(
-        trace_fingerprint(trace), config, place_heap, engine, params
+        trace_fingerprint(trace), config, place_heap, engine, params, cost_model
     )
     return store.get_or_compute(
         KIND_PLACEMENT,
@@ -325,6 +332,7 @@ def try_load_placement_pair(
     place_heap: bool,
     engine: str,
     profiler_kwargs: dict | None = None,
+    cost_model: str = "direct",
 ):
     """(profile, placement) without running the workload, or None."""
     fingerprint = known_fingerprint(store, workload, train_input)
@@ -342,7 +350,9 @@ def try_load_placement_pair(
     placement = _load(
         store,
         KIND_PLACEMENT,
-        _placement_fields(fingerprint, config, place_heap, engine, params),
+        _placement_fields(
+            fingerprint, config, place_heap, engine, params, cost_model
+        ),
         placement_from_dict,
     )
     if placement is None:
@@ -358,6 +368,7 @@ def try_load_placement(
     place_heap: bool,
     engine: str,
     profiler_kwargs: dict | None = None,
+    cost_model: str = "direct",
 ):
     """The placement map alone, without decoding the profile, or None.
 
@@ -373,7 +384,9 @@ def try_load_placement(
     return _load(
         store,
         KIND_PLACEMENT,
-        _placement_fields(fingerprint, config, place_heap, engine, params),
+        _placement_fields(
+            fingerprint, config, place_heap, engine, params, cost_model
+        ),
         placement_from_dict,
     )
 
@@ -524,6 +537,7 @@ def try_load_experiment(
     track_pages: bool,
     place_heap: bool | None = None,
     placement_engine: str = "array",
+    cost_model: str = "direct",
 ):
     """Reassemble a full ExperimentResult from the store, or None.
 
@@ -536,7 +550,13 @@ def try_load_experiment(
 
     resolved_heap = workload.place_heap if place_heap is None else place_heap
     pair = try_load_placement_pair(
-        store, workload.name, train_input, config, resolved_heap, placement_engine
+        store,
+        workload.name,
+        train_input,
+        config,
+        resolved_heap,
+        placement_engine,
+        cost_model=cost_model,
     )
     if pair is None:
         return None

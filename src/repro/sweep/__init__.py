@@ -1,0 +1,48 @@
+"""Geometry × associativity × workload sweep (``repro sweep``).
+
+See :mod:`repro.sweep.grid` for cell construction and
+:mod:`repro.sweep.runner` for execution and the ``BENCH_sweep.json``
+payload; ``docs/SWEEP.md`` documents the verb and its CI lanes.
+"""
+
+from .grid import (
+    DEFAULT_ASSOCIATIVITIES,
+    DEFAULT_LINE_SIZE,
+    DEFAULT_SIZES,
+    DEFAULT_WORKLOADS,
+    QUICK_ASSOCIATIVITIES,
+    QUICK_SIZES,
+    QUICK_WORKLOADS,
+    SweepCell,
+    build_grid,
+    default_cost_model,
+)
+from .runner import (
+    EPSILON_PP,
+    SWEEP_OUTPUT,
+    find_inversions,
+    render_sweep,
+    run_sweep,
+    verdict,
+    write_sweep,
+)
+
+__all__ = [
+    "DEFAULT_ASSOCIATIVITIES",
+    "DEFAULT_LINE_SIZE",
+    "DEFAULT_SIZES",
+    "DEFAULT_WORKLOADS",
+    "EPSILON_PP",
+    "QUICK_ASSOCIATIVITIES",
+    "QUICK_SIZES",
+    "QUICK_WORKLOADS",
+    "SWEEP_OUTPUT",
+    "SweepCell",
+    "build_grid",
+    "default_cost_model",
+    "find_inversions",
+    "render_sweep",
+    "run_sweep",
+    "verdict",
+    "write_sweep",
+]

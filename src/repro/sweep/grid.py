@@ -1,0 +1,136 @@
+"""Sweep grid: geometry × associativity × workload cells.
+
+The paper evaluates one geometry (8 KB direct-mapped, 32-byte lines)
+and discusses associativity only qualitatively (Section 5.2).  The
+sweep crosses cache size × associativity × workload into a grid of
+*cells*, one full experiment each, so the associativity-aware cost
+model can be judged where it matters: the cells where a direct-mapped
+win shrinks, vanishes, or inverts once the cache has ways.
+
+A :class:`SweepCell` is pure description — workload name, geometry,
+cost-model name.  :func:`build_grid` validates every combination up
+front (geometry arithmetic via :class:`~repro.cache.config.CacheConfig`,
+workload names against the registry and family registries) so a bad
+grid fails at the CLI boundary with a readable message instead of a
+``KeyError`` deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.config import CacheConfig
+from ..core.cost_model import COST_MODEL_NAMES
+
+#: Full-grid defaults (the nightly ``sweep-full`` lane).
+DEFAULT_SIZES = (4096, 8192, 16384)
+DEFAULT_ASSOCIATIVITIES = (1, 2, 4)
+DEFAULT_LINE_SIZE = 32
+DEFAULT_WORKLOADS = (
+    "espresso",
+    "compress",
+    "alloc-mix",
+    "pqueue-churn",
+    "layout-stress",
+)
+
+#: ``--quick`` mini-grid (the CI ``sweep-smoke`` lane): two geometries
+#: × two workloads, including the engineered verdict-inversion pair.
+QUICK_SIZES = (8192,)
+QUICK_ASSOCIATIVITIES = (1, 4)
+QUICK_WORKLOADS = ("espresso", "layout-stress")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (workload, geometry, cost-model) grid point."""
+
+    workload: str
+    size: int
+    line_size: int
+    associativity: int
+    cost_model: str
+
+    @property
+    def config(self) -> CacheConfig:
+        """The cell's cache geometry."""
+        return CacheConfig(self.size, self.line_size, self.associativity)
+
+    @property
+    def geometry(self) -> str:
+        """``SIZE:LINE:ASSOC``, the CLI's geometry syntax."""
+        return f"{self.size}:{self.line_size}:{self.associativity}"
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}@{self.geometry}"
+
+    def spec(self):
+        """The cell as an :class:`~repro.runtime.parallel.ExperimentSpec`."""
+        from ..runtime.parallel import ExperimentSpec
+
+        return ExperimentSpec(
+            workload=self.workload,
+            cache_config=self.config,
+            cost_model=self.cost_model,
+        )
+
+
+def default_cost_model(associativity: int) -> str:
+    """The cost model a geometry implies: gate only when there are ways."""
+    return "direct" if associativity <= 1 else "assoc"
+
+
+def build_grid(
+    sizes=DEFAULT_SIZES,
+    associativities=DEFAULT_ASSOCIATIVITIES,
+    line_size: int = DEFAULT_LINE_SIZE,
+    workloads=DEFAULT_WORKLOADS,
+    cost_model: str = "auto",
+) -> list[SweepCell]:
+    """Cross the axes into validated cells, workload-major order.
+
+    ``cost_model="auto"`` picks :func:`default_cost_model` per cell;
+    any explicit name from
+    :data:`~repro.core.cost_model.COST_MODEL_NAMES` applies uniformly.
+    Raises ``ValueError`` for an invalid geometry combination, an
+    unknown workload, or an unknown cost model — before anything runs.
+    """
+    from ..workloads import family_workload_names, workload_names
+
+    if cost_model != "auto" and cost_model not in COST_MODEL_NAMES:
+        raise ValueError(
+            f"unknown cost model {cost_model!r}; expected 'auto' or one of "
+            f"{COST_MODEL_NAMES}"
+        )
+    known = set(workload_names()) | set(family_workload_names())
+    unknown = [name for name in workloads if name not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads: {', '.join(unknown)}; "
+            f"available: {sorted(known)}"
+        )
+    cells: list[SweepCell] = []
+    for workload in workloads:
+        for size in sizes:
+            for assoc in associativities:
+                try:
+                    CacheConfig(size, line_size, assoc)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"invalid geometry {size}:{line_size}:{assoc}: {exc}"
+                    ) from None
+                cells.append(
+                    SweepCell(
+                        workload=workload,
+                        size=int(size),
+                        line_size=int(line_size),
+                        associativity=int(assoc),
+                        cost_model=(
+                            default_cost_model(assoc)
+                            if cost_model == "auto"
+                            else cost_model
+                        ),
+                    )
+                )
+    return cells

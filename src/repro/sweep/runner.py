@@ -1,0 +1,156 @@
+"""Sweep execution: the grid as one deduplicated job graph.
+
+:func:`run_sweep` turns every :class:`~repro.sweep.grid.SweepCell` into
+an :class:`~repro.runtime.parallel.ExperimentSpec` and hands the whole
+grid to :func:`~repro.sched.executor.run_experiments_dag` — one planned
+graph, so cells sharing a workload share its trace and profile jobs,
+a warm store prunes everything (``executed=0`` on rerun), and a failing
+cell surfaces as a ``None`` hole instead of sinking the sweep.
+
+The result payload (written to :data:`SWEEP_OUTPUT`) carries per-cell
+placed-vs-original miss rates with a win/loss/tie verdict, plus the
+*inversions* list: (workload, size, line) groups whose verdict changes
+across associativity — the cells where the direct-mapped story stops
+being the whole story.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .grid import SweepCell
+
+#: Default report path, next to the other BENCH_* artifacts.
+SWEEP_OUTPUT = "BENCH_sweep.json"
+
+#: Verdict dead band, in miss-rate percentage points: differences at or
+#: below this count as a tie (cold-miss noise, not placement signal).
+EPSILON_PP = 0.1
+
+
+def verdict(natural: float, placed: float, epsilon: float = EPSILON_PP) -> str:
+    """Classify one cell: did the placement win, lose, or tie?"""
+    delta = natural - placed
+    if delta > epsilon:
+        return "win"
+    if delta < -epsilon:
+        return "loss"
+    return "tie"
+
+
+def _cell_result(cell: SweepCell, result) -> dict:
+    entry = {
+        "workload": cell.workload,
+        "size": cell.size,
+        "line_size": cell.line_size,
+        "associativity": cell.associativity,
+        "geometry": cell.geometry,
+        "cost_model": cell.cost_model,
+        "ok": result is not None,
+    }
+    if result is None:
+        entry.update(
+            natural_miss_rate=None, placed_miss_rate=None,
+            reduction_pp=None, verdict=None,
+        )
+        return entry
+    natural = result.original.cache.miss_rate
+    placed = result.ccdp.cache.miss_rate
+    entry.update(
+        natural_miss_rate=natural,
+        placed_miss_rate=placed,
+        reduction_pp=natural - placed,
+        verdict=verdict(natural, placed),
+    )
+    return entry
+
+
+def find_inversions(cells: list[dict]) -> list[dict]:
+    """Groups whose placed-vs-original verdict flips with associativity.
+
+    Cells are grouped by (workload, size, line_size); a group with at
+    least two associativities and more than one distinct verdict is an
+    inversion — associativity alone changed whether CCDP helps.
+    """
+    groups: dict[tuple, dict[int, str]] = {}
+    for cell in cells:
+        if not cell["ok"]:
+            continue
+        key = (cell["workload"], cell["size"], cell["line_size"])
+        groups.setdefault(key, {})[cell["associativity"]] = cell["verdict"]
+    inversions = []
+    for (workload, size, line_size), verdicts in sorted(groups.items()):
+        if len(verdicts) >= 2 and len(set(verdicts.values())) > 1:
+            inversions.append(
+                {
+                    "workload": workload,
+                    "size": size,
+                    "line_size": line_size,
+                    "verdicts": {
+                        str(assoc): verdicts[assoc]
+                        for assoc in sorted(verdicts)
+                    },
+                }
+            )
+    return inversions
+
+
+def run_sweep(cells: list[SweepCell], jobs: int | None = None) -> dict:
+    """Run the grid; returns the JSON-ready sweep payload."""
+    from ..sched.executor import run_experiments_dag
+
+    specs = [cell.spec() for cell in cells]
+    results, _graph, summary = run_experiments_dag(specs, jobs=jobs)
+    cell_results = [
+        _cell_result(cell, result) for cell, result in zip(cells, results)
+    ]
+    return {
+        "cells": cell_results,
+        "inversions": find_inversions(cell_results),
+        "failed": sum(1 for entry in cell_results if not entry["ok"]),
+        "sched": summary.line(),
+    }
+
+
+def render_sweep(payload: dict) -> str:
+    """Human-readable per-cell table plus the inversion list."""
+    lines = [
+        f"{'workload':<14} {'geometry':<14} {'model':<10} "
+        f"{'natural':>8} {'placed':>8} {'delta':>7}  verdict"
+    ]
+    for cell in payload["cells"]:
+        if not cell["ok"]:
+            lines.append(
+                f"{cell['workload']:<14} {cell['geometry']:<14} "
+                f"{cell['cost_model']:<10} {'-':>8} {'-':>8} {'-':>7}  FAILED"
+            )
+            continue
+        lines.append(
+            f"{cell['workload']:<14} {cell['geometry']:<14} "
+            f"{cell['cost_model']:<10} "
+            f"{cell['natural_miss_rate']:>8.3f} "
+            f"{cell['placed_miss_rate']:>8.3f} "
+            f"{cell['reduction_pp']:>7.3f}  {cell['verdict']}"
+        )
+    if payload["inversions"]:
+        lines.append("")
+        lines.append("verdict inversions across associativity:")
+        for inv in payload["inversions"]:
+            flips = ", ".join(
+                f"{assoc}-way={v}" for assoc, v in inv["verdicts"].items()
+            )
+            lines.append(
+                f"  {inv['workload']} @ {inv['size']}:{inv['line_size']}: "
+                f"{flips}"
+            )
+    else:
+        lines.append("")
+        lines.append("no verdict inversions across associativity")
+    return "\n".join(lines)
+
+
+def write_sweep(payload: dict, path: str = SWEEP_OUTPUT) -> None:
+    """Write the sweep payload as stable, diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

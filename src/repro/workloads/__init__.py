@@ -5,12 +5,37 @@ Importing this package registers every workload; use
 paper's table order.
 """
 
-from .base import Workload, WorkloadInput, make_workload, register, workload_names
+from .base import (
+    Workload,
+    WorkloadInput,
+    family_workload_names,
+    make_workload,
+    register,
+    register_family,
+    workload_names,
+)
+from .allocmix import (
+    ALLOCMIX_WORKLOADS,
+    AllocMixSpec,
+    AllocMixWorkload,
+    alloc_churn,
+    alloc_mix,
+)
 from .drift import (
+    DRIFT_WORKLOADS,
     DriftSpec,
     DriftWorkload,
     drift_workload,
     drift_workload_names,
+)
+from .pqueue import (
+    PQUEUE_WORKLOADS,
+    LayoutStressSpec,
+    LayoutStressWorkload,
+    PQueueSpec,
+    PQueueWorkload,
+    layout_stress,
+    pqueue_churn,
 )
 from .synthetic import (
     SyntheticSpec,
@@ -18,6 +43,12 @@ from .synthetic import (
     aliased_hot_set,
     heap_churn_only,
 )
+
+# Family workloads resolve through make_workload but stay out of the
+# paper-table registry (workload_names) so golden tables remain pinned.
+register_family(DRIFT_WORKLOADS)
+register_family(ALLOCMIX_WORKLOADS)
+register_family(PQUEUE_WORKLOADS)
 
 # Importing the modules registers the workloads.
 from . import compress as _compress  # noqa: F401
@@ -31,16 +62,28 @@ from . import m88ksim as _m88ksim  # noqa: F401
 from . import mgrid as _mgrid  # noqa: F401
 
 __all__ = [
+    "AllocMixSpec",
+    "AllocMixWorkload",
     "DriftSpec",
     "DriftWorkload",
+    "LayoutStressSpec",
+    "LayoutStressWorkload",
+    "PQueueSpec",
+    "PQueueWorkload",
     "SyntheticSpec",
     "SyntheticWorkload",
     "Workload",
     "WorkloadInput",
+    "alloc_churn",
+    "alloc_mix",
     "drift_workload",
     "drift_workload_names",
+    "family_workload_names",
+    "layout_stress",
     "make_workload",
+    "pqueue_churn",
     "register",
+    "register_family",
     "workload_names",
     "aliased_hot_set",
     "heap_churn_only",

@@ -1,0 +1,162 @@
+"""Allocation-size-mix workloads (Heap-vs-Stack-style distributions).
+
+The paper's Table 3 shows the nine benchmarks' heap populations skewed
+toward small objects; the classic Heap-vs-Stack measurement studies
+found the same shape across whole allocator traces — the vast majority
+of blocks at or below a few cache lines, a thin tail of large buffers,
+and sharply bimodal lifetimes (immediately-freed churn next to
+run-length survivors).  These generators reproduce that distribution
+knob by knob so the placer's heap-naming and the sweep's geometry grid
+see a realistic allocator profile rather than a benchmark-specific one:
+
+* **alloc-mix** — the balanced profile: a size histogram dominated by
+  <=64-byte nodes with a tail out to multi-KB buffers, roughly half the
+  churn blocks dying within one loop body, survivors revisited from a
+  small hot working set, all driven from stack-heavy call frames.
+* **alloc-churn** — the stress arm: nearly everything is a tiny block
+  freed almost immediately, so placement quality rides entirely on the
+  allocation-site names (paper Section 3.4) rather than per-object
+  history.
+
+Like :mod:`~repro.workloads.drift`, these are *family* workloads:
+instantiable through :func:`~repro.workloads.base.make_workload` via
+the family registry, but never listed in :func:`workload_names` — the
+paper tables stay pinned to the nine benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..vm.program import Program
+from .base import Workload, WorkloadInput
+
+_SITE_MAIN = 0xA0000
+_SITE_POOL = 0xA0040
+_SITE_CHURN = 0xA0080
+_SITE_TAIL = 0xA00C0
+
+
+@dataclass(frozen=True)
+class AllocMixSpec:
+    """Parameters of an allocation-size-mix workload.
+
+    Attributes:
+        size_classes: ``(bytes, weight)`` pairs of the allocation-size
+            histogram; weights need not sum to anything in particular.
+        churn_fraction: Probability that a fresh block dies at the end
+            of the loop body that allocated it.
+        survivors: Long-lived blocks kept live across the whole run; the
+            hot working set revisited every iteration.
+        survivor_touch: Survivor loads per iteration.
+        iterations: Loop-body trip count (one allocation each).
+        stack_frame_bytes: Frame size of the allocating function.
+        global_bytes: Size of the shared globals the loop interleaves
+            with heap traffic (0 disables).
+    """
+
+    size_classes: tuple = (
+        (16, 40),
+        (32, 24),
+        (64, 16),
+        (256, 8),
+        (1024, 3),
+        (4096, 1),
+    )
+    churn_fraction: float = 0.5
+    survivors: int = 24
+    survivor_touch: int = 2
+    iterations: int = 5000
+    stack_frame_bytes: int = 128
+    global_bytes: int = 512
+
+
+@dataclass
+class AllocMixWorkload(Workload):
+    """A workload allocating according to an :class:`AllocMixSpec`."""
+
+    spec: AllocMixSpec = field(default_factory=AllocMixSpec)
+
+    def __init__(self, spec: AllocMixSpec | None = None, name: str = "alloc-mix"):
+        super().__init__(
+            name=name,
+            inputs={
+                "train": WorkloadInput("train", seed=9101, scale=1.0),
+                "test": WorkloadInput("test", seed=9203, scale=1.2),
+            },
+            place_heap=True,
+        )
+        self.spec = spec or AllocMixSpec()
+
+    def body(self, program: Program, rng: random.Random, scale: float) -> None:
+        spec = self.spec
+        shared = (
+            program.add_global("shared", spec.global_bytes)
+            if spec.global_bytes
+            else None
+        )
+        program.start()
+
+        sizes = [size for size, _weight in spec.size_classes]
+        weights = [weight for _size, weight in spec.size_classes]
+        iterations = self.scaled(spec.iterations, scale)
+        with program.function(_SITE_MAIN, frame_bytes=64):
+            # Long-lived survivors allocate first, from their own site,
+            # so heap naming separates them from the churn stream.
+            survivors = []
+            for index in range(spec.survivors):
+                size = sizes[index % len(sizes)]
+                node = self.alloc_node(program, _SITE_POOL, size)
+                program.store(node, 0)
+                survivors.append((node, size))
+            with program.function(
+                _SITE_CHURN, frame_bytes=spec.stack_frame_bytes
+            ):
+                for index in range(iterations):
+                    size = rng.choices(sizes, weights=weights)[0]
+                    site = _SITE_TAIL if size >= 1024 else _SITE_CHURN
+                    block = self.alloc_node(program, site, size)
+                    program.store(block, 0)
+                    program.load(block, min(8, size - 8) if size > 8 else 0)
+                    for touch in range(spec.survivor_touch):
+                        node, node_size = survivors[
+                            (index + touch) % len(survivors)
+                        ]
+                        program.load(node, 8 * (index % max(1, node_size // 8)))
+                    if shared is not None and index % 4 == 0:
+                        program.load(shared, (index * 8) % spec.global_bytes)
+                    program.store_local(8 * (index % 8))
+                    program.compute(4)
+                    if rng.random() < spec.churn_fraction:
+                        program.free(block)
+                    elif index % 16 == 0:
+                        # Rotate one survivor so lifetimes stay bimodal
+                        # rather than strictly two-valued.
+                        slot = index % len(survivors)
+                        old, _old_size = survivors[slot]
+                        program.free(old)
+                        survivors[slot] = (block, size)
+
+
+def alloc_mix(**overrides) -> AllocMixWorkload:
+    """Balanced Heap-vs-Stack-style size/lifetime distribution."""
+    return AllocMixWorkload(AllocMixSpec(**overrides), name="alloc-mix")
+
+
+def alloc_churn(**overrides) -> AllocMixWorkload:
+    """Stress arm: almost all blocks are tiny and die immediately."""
+    spec = AllocMixSpec(
+        size_classes=((16, 60), (32, 30), (64, 9), (1024, 1)),
+        churn_fraction=0.9,
+        survivors=8,
+        **overrides,
+    )
+    return AllocMixWorkload(spec, name="alloc-churn")
+
+
+#: Name -> factory for the allocation-mix family.
+ALLOCMIX_WORKLOADS = {
+    "alloc-mix": alloc_mix,
+    "alloc-churn": alloc_churn,
+}

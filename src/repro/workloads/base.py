@@ -108,12 +108,37 @@ class Workload:
 
 _REGISTRY: dict[str, type[Workload]] = {}
 
+#: Name -> zero-argument factory for *family* workloads: scenario
+#: generators (drift, allocation-mix, pointer-chasing) that
+#: :func:`make_workload` can instantiate by name without entering
+#: :func:`workload_names` — the paper tables stay pinned to the nine
+#: benchmarks while schedulers and sweeps address every family member
+#: through the same string-keyed lookup.
+_FAMILIES: dict[str, object] = {}
+
 
 def register(cls: type[Workload]) -> type[Workload]:
     """Class decorator adding a workload to the global registry."""
     instance = cls()
     _REGISTRY[instance.name] = cls
     return cls
+
+
+def register_family(factories: dict) -> None:
+    """Add name -> factory entries to the family fallback registry.
+
+    A family name must not shadow a registered benchmark; the nine
+    paper programs always win the :func:`make_workload` lookup.
+    """
+    for name, factory in factories.items():
+        if name in _REGISTRY:
+            raise ValueError(f"family name {name!r} shadows a benchmark")
+        _FAMILIES[name] = factory
+
+
+def family_workload_names() -> list[str]:
+    """Family (scenario) workload names, in registration order."""
+    return list(_FAMILIES)
 
 
 def workload_names() -> list[str]:
@@ -135,11 +160,14 @@ def workload_names() -> list[str]:
 
 
 def make_workload(name: str) -> Workload:
-    """Instantiate a registered workload by name."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {workload_names()}"
-        ) from None
-    return cls()
+    """Instantiate a registered workload (or family member) by name."""
+    cls = _REGISTRY.get(name)
+    if cls is not None:
+        return cls()
+    factory = _FAMILIES.get(name)
+    if factory is not None:
+        return factory()
+    raise KeyError(
+        f"unknown workload {name!r}; available: "
+        f"{workload_names() + family_workload_names()}"
+    )

@@ -1,0 +1,76 @@
+"""CLI surface of ``repro sweep``: parse-time and plan-time validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from argparse import ArgumentTypeError
+
+from repro.cli import _parse_int_list, build_parser, main
+
+
+class TestParseIntList:
+    def test_parses_comma_separated_values(self):
+        assert _parse_int_list("4096,8192") == (4096, 8192)
+        assert _parse_int_list("1") == (1,)
+        assert _parse_int_list("1,2,") == (1, 2)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(ArgumentTypeError, match="comma-separated integers"):
+            _parse_int_list("4096,huge")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ArgumentTypeError, match="at least one"):
+            _parse_int_list(",")
+
+
+class TestParseTimeValidation:
+    def test_bad_geometry_string_rejected_by_argparse(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["sweep", "--geometries", "8192:48:1"])
+        assert excinfo.value.code == 2
+        assert "line_size" in capsys.readouterr().err
+
+    def test_bad_cost_model_rejected_by_argparse(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["sweep", "--cost-model", "quantum"])
+        assert excinfo.value.code == 2
+
+
+class TestPlanTimeValidation:
+    def test_indivisible_size_assoc_combo_exits_2(self, capsys):
+        assert main(["sweep", "--sizes", "8192", "--assoc", "3"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid geometry 8192:32:3" in err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        rc = main(
+            ["sweep", "--sizes", "8192", "--assoc", "1",
+             "--workloads", "doom"]
+        )
+        assert rc == 2
+        assert "unknown workloads: doom" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    def test_single_cell_sweep_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        rc = main(
+            ["sweep", "--sizes", "8192", "--assoc", "1",
+             "--workloads", "layout-stress", "-o", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["failed"] == 0
+        assert len(payload["cells"]) == 1
+        cell = payload["cells"][0]
+        assert cell["workload"] == "layout-stress"
+        assert cell["cost_model"] == "direct"
+        assert cell["verdict"] == "win"
+        stdout = capsys.readouterr().out
+        assert "sweep: 1 cells" in stdout
+        assert f"sweep report written to {out}" in stdout
+        assert "[sched]" in stdout

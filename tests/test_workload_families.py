@@ -1,0 +1,121 @@
+"""The allocation-mix and layout-sensitivity workload families.
+
+Pins: family members resolve through :func:`make_workload` without
+entering the paper-table registry, their traces are deterministic, the
+allocator size mix is small-object dominated (Heap-vs-Stack shape), and
+layout-stress reproduces its engineered aliasing structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.driver import collect_stats
+from repro.trace.sinks import TraceSink
+from repro.workloads import (
+    family_workload_names,
+    make_workload,
+    register_family,
+    workload_names,
+)
+
+FAMILY_NAMES = (
+    "alloc-mix",
+    "alloc-churn",
+    "pqueue-churn",
+    "layout-stress",
+)
+
+
+class TestFamilyRegistry:
+    def test_paper_tables_stay_pinned_to_the_nine(self):
+        assert len(workload_names()) == 9
+        assert not set(FAMILY_NAMES) & set(workload_names())
+
+    def test_families_resolve_through_make_workload(self):
+        for name in FAMILY_NAMES:
+            workload = make_workload(name)
+            assert workload.name == name
+            assert workload.train_input != workload.test_input
+
+    def test_families_listed(self):
+        for name in FAMILY_NAMES:
+            assert name in family_workload_names()
+
+    def test_unknown_name_reports_families_too(self):
+        with pytest.raises(KeyError, match="layout-stress"):
+            make_workload("doom")
+
+    def test_family_cannot_shadow_a_benchmark(self):
+        with pytest.raises(ValueError, match="shadows a benchmark"):
+            register_family({"espresso": lambda: None})
+
+
+class _Digest(TraceSink):
+    def __init__(self):
+        self.value = 0
+        self.count = 0
+
+    def on_access(self, obj_id, offset, size, is_store, category):
+        self.count += 1
+        self.value = (
+            self.value * 1000003
+            + hash((obj_id, offset, size, is_store, int(category)))
+        ) & 0xFFFFFFFFFFFF
+
+
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestEachFamilyWorkload:
+    def test_runs_clean_with_validation(self, name):
+        workload = make_workload(name)
+        stats = collect_stats(workload, workload.train_input)
+        assert stats.memory_refs > 5000
+
+    def test_deterministic_trace(self, name):
+        workload = make_workload(name)
+        first, second = _Digest(), _Digest()
+        workload.run(first, workload.train_input)
+        make_workload(name).run(second, workload.train_input)
+        assert first.count == second.count
+        assert first.value == second.value
+
+    def test_inputs_differ(self, name):
+        workload = make_workload(name)
+        train, test = _Digest(), _Digest()
+        workload.run(train, workload.train_input)
+        workload.run(test, workload.test_input)
+        assert (train.count, train.value) != (test.count, test.value)
+
+
+class TestAllocMixShape:
+    def test_size_mix_is_small_object_dominated(self):
+        stats = collect_stats(make_workload("alloc-mix"), "train")
+        assert stats.alloc_count > 1000
+        # Heap-vs-Stack shape: mean allocation well under a KB even
+        # with the large-buffer tail in the histogram.
+        assert stats.avg_alloc_size < 256
+
+    def test_churn_arm_frees_most_blocks(self):
+        stats = collect_stats(make_workload("alloc-churn"), "train")
+        assert stats.free_count > 0.8 * stats.alloc_count
+
+
+class TestLayoutStress:
+    def test_hot_globals_are_spaced_one_period_apart(self):
+        from repro.runtime.driver import build_placement
+        from repro.workloads.pqueue import LayoutStressSpec
+
+        workload = make_workload("layout-stress")
+        spec = LayoutStressSpec()
+        profile, _placement = build_placement(workload)
+        sizes = {
+            entity.key: entity.size for entity in profile.entities.values()
+        }
+        hot = [key for key in sizes if "hot_" in key]
+        pads = [key for key in sizes if "pad_" in key]
+        assert len(hot) == spec.hot_blocks
+        assert len(pads) == spec.hot_blocks
+        for key in hot:
+            assert sizes[key] == spec.hot_bytes
+        for key in pads:
+            assert sizes[key] == spec.period - spec.hot_bytes
